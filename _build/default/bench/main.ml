@@ -1,0 +1,152 @@
+(* Benchmark harness.
+
+   Running this executable (a) regenerates every figure of the paper's
+   evaluation (Figures 2a, 2b, 2c) on the synthetic substrate, and (b)
+   runs Bechamel micro-benchmarks over the performance-critical pieces:
+   the interval algebra, the Kuhn-Munkres assignment kernel, the
+   similarity metric, the prompting pipeline and the recognition engine
+   with a window-size sweep (RTEC's headline optimisation). *)
+
+open Bechamel
+open Toolkit
+
+(* --- figure reproduction --- *)
+
+let print_figures () =
+  Format.printf "==============================================================@.";
+  Format.printf "Figure reproduction (see EXPERIMENTS.md for the comparison)@.";
+  Format.printf "==============================================================@.";
+  Evaluation.Report.print_all Format.std_formatter ();
+  Format.printf "@."
+
+(* --- benchmark fixtures --- *)
+
+let spans_a = Rtec.Interval.of_list (List.init 200 (fun i -> (i * 10, (i * 10) + 6)))
+let spans_b = Rtec.Interval.of_list (List.init 200 (fun i -> ((i * 10) + 3, (i * 10) + 8)))
+
+let cost_matrix n =
+  Array.init n (fun i ->
+      Array.init n (fun j -> float_of_int (((i * 31) + (j * 17)) mod 100) /. 100.))
+
+let matrix_16 = cost_matrix 16
+let matrix_64 = cost_matrix 64
+let gold_rules = Rtec.Ast.all_rules Maritime.Gold.event_description
+
+let mutated_rules =
+  let mutate (d : Rtec.Ast.definition) =
+    Adg.Error_model.apply_all
+      [ Adg.Error_model.Rename ("entersArea", "inArea"); Adg.Error_model.Add_redundant ]
+      d
+  in
+  Rtec.Ast.all_rules (List.map mutate Maritime.Gold.event_description)
+
+let trawling_rules = (Maritime.Gold.definition "trawling").rules
+
+let trawling_mutated =
+  (Adg.Error_model.apply Adg.Error_model.Add_redundant (Maritime.Gold.definition "trawling"))
+    .rules
+
+let small_dataset =
+  Maritime.Dataset.generate
+    ~config:{ Maritime.Dataset.seed = 99; replicas = 1; nominal = 1 }
+    ()
+
+let recognise ~window ~step () =
+  match
+    Rtec.Window.run ~window ~step ~event_description:Maritime.Gold.event_description
+      ~knowledge:small_dataset.knowledge ~stream:small_dataset.stream ()
+  with
+  | Ok (result, _) -> ignore result
+  | Error e -> failwith e
+
+let o1_profile = Adg.Profiles.find ~model:"o1" ~scheme:Adg.Prompt.Few_shot
+
+let tests =
+  [
+    Test.make_grouped ~name:"interval"
+      [
+        Test.make ~name:"union_all-3x200"
+          (Staged.stage (fun () ->
+               ignore (Rtec.Interval.union_all [ spans_a; spans_b; spans_a ])));
+        Test.make ~name:"intersect_all-3x200"
+          (Staged.stage (fun () ->
+               ignore (Rtec.Interval.intersect_all [ spans_a; spans_b; spans_a ])));
+        Test.make ~name:"relative_complement-200"
+          (Staged.stage (fun () ->
+               ignore (Rtec.Interval.relative_complement_all spans_a [ spans_b ])));
+        Test.make ~name:"from_points-200"
+          (Staged.stage (fun () ->
+               ignore
+                 (Rtec.Interval.from_points
+                    ~starts:(List.init 200 (fun i -> i * 10))
+                    ~stops:(List.init 200 (fun i -> (i * 10) + 5)))));
+      ];
+    Test.make_grouped ~name:"assignment"
+      [
+        Test.make ~name:"kuhn-munkres-16"
+          (Staged.stage (fun () -> ignore (Assignment.Kuhn_munkres.solve matrix_16)));
+        Test.make ~name:"kuhn-munkres-64"
+          (Staged.stage (fun () -> ignore (Assignment.Kuhn_munkres.solve matrix_64)));
+      ];
+    Test.make_grouped ~name:"similarity-fig2a-2b-kernel"
+      [
+        Test.make ~name:"rule-distance"
+          (Staged.stage (fun () ->
+               ignore
+                 (Similarity.Distance.rule (List.hd trawling_rules)
+                    (List.hd trawling_mutated))));
+        Test.make ~name:"definition-similarity"
+          (Staged.stage (fun () ->
+               ignore (Similarity.Distance.similarity trawling_mutated trawling_rules)));
+        Test.make ~name:"event-description-distance"
+          (Staged.stage (fun () ->
+               ignore (Similarity.Distance.event_description mutated_rules gold_rules)));
+      ];
+    Test.make_grouped ~name:"generation-fig2a-kernel"
+      [
+        Test.make ~name:"o1-session-one-activity"
+          (Staged.stage (fun () ->
+               let backend = Adg.Profiles.backend o1_profile in
+               ignore (Adg.Session.run ~activities:[ "trawling" ] backend)));
+      ];
+    Test.make_grouped ~name:"recognition-fig2c-kernel"
+      [
+        Test.make ~name:"window-1h-step-30min" (Staged.stage (recognise ~window:3600 ~step:1800));
+        Test.make ~name:"window-2h-step-1h" (Staged.stage (recognise ~window:7200 ~step:3600));
+        Test.make ~name:"window-4h-step-2h" (Staged.stage (recognise ~window:14400 ~step:7200));
+      ];
+    Test.make_grouped ~name:"fleet-domain"
+      [
+        (let stream, knowledge = Fleet.generate () in
+         let ed = Domain.event_description Fleet.domain in
+         Test.make ~name:"recognition-window-1h"
+           (Staged.stage (fun () ->
+                match
+                  Rtec.Window.run ~window:3600 ~step:1800 ~event_description:ed ~knowledge
+                    ~stream ()
+                with
+                | Ok _ -> ()
+                | Error e -> failwith e)));
+      ];
+  ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"adg" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "==============================================================@.";
+  Format.printf "Micro-benchmarks (monotonic clock, ns/run)@.";
+  Format.printf "==============================================================@.";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-60s %16.1f ns/run@." name est
+      | Some _ | None -> Format.printf "%-60s %16s@." name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  print_figures ();
+  benchmark ()

@@ -1,0 +1,24 @@
+(* Regenerates the paper's figures on the synthetic substrate.
+   Usage: figures [2a|2b|2c|all] *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let ppf = Format.std_formatter in
+  match which with
+  | "2a" ->
+    let best = Evaluation.Experiments.(best_per_model (generate_all ())) in
+    Evaluation.Report.figure_2a ppf best
+  | "2b" ->
+    let best = Evaluation.Experiments.(best_per_model (generate_all ())) in
+    Evaluation.Report.figure_2b ppf (Evaluation.Experiments.correct_top best)
+  | "2c" ->
+    let best = Evaluation.Experiments.(best_per_model (generate_all ())) in
+    let corrected = Evaluation.Experiments.correct_top best in
+    let dataset = Maritime.Dataset.generate () in
+    (match Evaluation.Experiments.predictive_accuracy ~dataset corrected with
+    | Error e -> prerr_endline e; exit 1
+    | Ok rows -> Evaluation.Report.figure_2c ppf rows)
+  | "all" -> Evaluation.Report.print_all ppf ()
+  | other ->
+    Printf.eprintf "unknown figure %S (expected 2a, 2b, 2c or all)\n" other;
+    exit 2

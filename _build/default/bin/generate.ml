@@ -1,0 +1,62 @@
+(* generate: run the activity-definition-generation pipeline for one
+   model and print either the generated event description, the prompt
+   transcript, or the similarity report. *)
+
+open Cmdliner
+
+let model_arg =
+  Arg.(value & opt string "o1" & info [ "model"; "m" ] ~docv:"MODEL"
+         ~doc:"One of GPT-4, GPT-4o, o1, Llama-3, Mistral, Gemma-2.")
+
+let scheme_arg =
+  Arg.(value & opt (some string) None & info [ "scheme"; "s" ] ~docv:"SCHEME"
+         ~doc:"few-shot or cot; defaults to the model's reported scheme.")
+
+let mode_arg =
+  Arg.(value & opt (enum [ ("rules", `Rules); ("transcript", `Transcript);
+                           ("similarity", `Similarity); ("corrected", `Corrected) ])
+         `Rules
+       & info [ "print"; "p" ] ~docv:"WHAT"
+           ~doc:"What to print: rules, transcript, similarity or corrected.")
+
+let run model scheme mode =
+  let scheme =
+    match scheme with
+    | None -> Adg.Profiles.reported_scheme model
+    | Some "few-shot" -> Adg.Prompt.Few_shot
+    | Some "cot" -> Adg.Prompt.Chain_of_thought
+    | Some other ->
+      Printf.eprintf "unknown scheme %S (expected few-shot or cot)\n" other;
+      exit 2
+  in
+  let profile =
+    try Adg.Profiles.find ~model ~scheme
+    with Not_found ->
+      Printf.eprintf "unknown model %S\n" model;
+      exit 2
+  in
+  let session = Adg.Session.run (Adg.Profiles.backend profile) in
+  match mode with
+  | `Rules ->
+    Format.printf "%s@."
+      (Rtec.Printer.event_description_to_string (Adg.Session.event_description session))
+  | `Transcript ->
+    List.iteri
+      (fun i (prompt, reply) ->
+        Format.printf "=== exchange %d ===@.>>> %s@.@.<<< %s@.@." (i + 1) prompt reply)
+      session.transcript
+  | `Similarity ->
+    List.iter
+      (fun (e : Maritime.Gold.entry) ->
+        Format.printf "%-20s %.3f@." e.name
+          (Evaluation.Experiments.similarity_of_definition session e.name))
+      Maritime.Gold.entries
+  | `Corrected ->
+    let ed, report = Adg.Correction.correct session in
+    Format.printf "%% %d corrections applied@.%s@."
+      (List.length report.changes)
+      (Rtec.Printer.event_description_to_string ed)
+
+let () =
+  let doc = "Generate RTEC activity definitions with a (simulated) LLM." in
+  exit (Cmd.eval (Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ model_arg $ scheme_arg $ mode_arg)))

@@ -1,0 +1,146 @@
+(* rtec_cli: run the RTEC engine from the command line.
+
+   - [recognise] loads an event description, background knowledge and an
+     event stream from files and prints the recognised maximal intervals;
+   - [check] parses an event description and reports diagnostics;
+   - [dataset] writes the synthetic maritime dataset to files usable by
+     [recognise].
+
+   Stream file format (see Rtec.Io): one fact per line —
+   "happensAt(<event>, <time>)." for events and
+   "holdsFor(<fluent> = <value>, [[S, E], ...])." for input fluents. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+
+(* --- check --- *)
+
+let check_cmd =
+  let ed_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENT_DESCRIPTION")
+  in
+  let maritime_voc =
+    Arg.(value & flag & info [ "maritime" ] ~doc:"Check against the maritime vocabulary.")
+  in
+  let run ed_file maritime =
+    match Rtec.Parser.parse_clauses_result (read_file ed_file) with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+    | Ok rules ->
+      let ed = [ { Rtec.Ast.name = Filename.basename ed_file; rules } ] in
+      let vocabulary =
+        if maritime then Some Maritime.Vocabulary.check_vocabulary else None
+      in
+      let diags = Rtec.Check.check ?vocabulary ed in
+      List.iter (fun d -> Format.printf "%a@." Rtec.Check.pp_diagnostic d) diags;
+      if Rtec.Check.usable ?vocabulary ed then Format.printf "ok: usable@."
+      else exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse an event description and report diagnostics.")
+    Term.(const run $ ed_arg $ maritime_voc)
+
+(* --- recognise --- *)
+
+let recognise_cmd =
+  let ed_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENT_DESCRIPTION")
+  in
+  let stream_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"STREAM") in
+  let kb_arg =
+    Arg.(value & opt (some file) None & info [ "knowledge"; "k" ] ~docv:"FILE"
+           ~doc:"Background knowledge facts.")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None & info [ "window"; "w" ] ~docv:"SECONDS"
+           ~doc:"Sliding window size; omit for a single query over the whole stream.")
+  in
+  let step_arg =
+    Arg.(value & opt (some int) None & info [ "step"; "s" ] ~docv:"SECONDS"
+           ~doc:"Query step (defaults to the window size).")
+  in
+  let fluent_arg =
+    Arg.(value & opt (some string) None & info [ "fluent"; "f" ] ~docv:"NAME/ARITY"
+           ~doc:"Only print instances of this fluent, e.g. trawling/1.")
+  in
+  let run ed_file stream_file kb_file window step fluent =
+    match Rtec.Parser.parse_clauses_result (read_file ed_file) with
+    | Error e ->
+      Printf.eprintf "parse error in %s: %s\n" ed_file e;
+      exit 1
+    | Ok rules -> (
+      let ed = [ { Rtec.Ast.name = Filename.basename ed_file; rules } ] in
+      let knowledge =
+        match kb_file with
+        | None -> Rtec.Knowledge.empty
+        | Some f -> Rtec.Knowledge.of_source (read_file f)
+      in
+      let stream = Rtec.Io.stream_of_string (read_file stream_file) in
+      match Rtec.Window.run ?window ?step ~event_description:ed ~knowledge ~stream () with
+      | Error e ->
+        Printf.eprintf "recognition failed: %s\n" e;
+        exit 1
+      | Ok (result, stats) ->
+        Format.printf "%% %d queries, %d window-events@." stats.queries
+          stats.events_processed;
+        let selected =
+          match fluent with
+          | None -> result
+          | Some spec -> (
+            match String.split_on_char '/' spec with
+            | [ name; arity ] ->
+              Rtec.Engine.find_fluent result (name, int_of_string arity)
+            | _ -> failwith "expected NAME/ARITY")
+        in
+        List.iter
+          (fun ((f, v), spans) ->
+            Format.printf "holdsFor(%a = %a, %a).@." Rtec.Term.pp f Rtec.Term.pp v
+              Rtec.Interval.pp spans)
+          selected)
+  in
+  Cmd.v
+    (Cmd.info "recognise"
+       ~doc:"Run the engine over a stream file and print maximal intervals.")
+    Term.(const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ fluent_arg)
+
+(* --- dataset --- *)
+
+let dataset_cmd =
+  let out_arg =
+    Arg.(value & opt string "dataset" & info [ "output"; "o" ] ~docv:"PREFIX"
+           ~doc:"Output prefix; writes PREFIX.stream and PREFIX.kb.")
+  in
+  let seed_arg = Arg.(value & opt int 20250325 & info [ "seed" ] ~docv:"N") in
+  let replicas_arg = Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N") in
+  let run prefix seed replicas =
+    let config = { Maritime.Dataset.seed; replicas; nominal = replicas + 1 } in
+    let data = Maritime.Dataset.generate ~config () in
+    let oc = open_out (prefix ^ ".stream") in
+    Rtec.Io.write_stream oc data.stream;
+    close_out oc;
+    let oc = open_out (prefix ^ ".kb") in
+    Rtec.Io.write_knowledge oc data.knowledge;
+    close_out oc;
+    let oc = open_out (prefix ^ ".ed") in
+    output_string oc (Rtec.Printer.event_description_to_string Maritime.Gold.event_description);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "wrote %s.stream (%d events), %s.kb (%d facts), %s.ed\n" prefix
+      (Rtec.Stream.size data.stream) prefix
+      (Rtec.Knowledge.size data.knowledge)
+      prefix
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate the synthetic maritime dataset as files.")
+    Term.(const run $ out_arg $ seed_arg $ replicas_arg)
+
+let () =
+  let doc = "Run-Time Event Calculus command-line interface." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "rtec" ~doc) [ check_cmd; recognise_cmd; dataset_cmd ]))

@@ -1,0 +1,1 @@
+examples/definition_generation.ml: Adg Array Evaluation Format List Maritime Printf Rtec String Sys

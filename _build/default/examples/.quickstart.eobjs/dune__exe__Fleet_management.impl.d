@@ -1,0 +1,1 @@
+examples/fleet_management.ml: Adg Domain Fleet Format List Rtec Similarity String

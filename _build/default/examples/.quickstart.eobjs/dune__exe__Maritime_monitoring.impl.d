@@ -1,0 +1,1 @@
+examples/maritime_monitoring.ml: Evaluation Format List Maritime Printf Rtec

@@ -1,0 +1,1 @@
+examples/maritime_monitoring.mli:

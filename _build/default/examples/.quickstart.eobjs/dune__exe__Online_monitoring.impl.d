@@ -1,0 +1,1 @@
+examples/online_monitoring.ml: Format Hashtbl List Maritime Printf Rtec

@@ -1,0 +1,1 @@
+examples/similarity_audit.ml: Adg Array Format List Maritime Parser Printf Rtec Similarity String

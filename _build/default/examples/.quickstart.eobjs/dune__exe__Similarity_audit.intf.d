@@ -1,0 +1,1 @@
+examples/similarity_audit.mli:

@@ -1,0 +1,73 @@
+(* Activity definition generation with a (simulated) LLM: the paper's
+   pipeline end to end for one model. Shows the prompts of Section 3, the
+   generated rules, the similarity metric of Section 4 and the minimal
+   syntactic correction of Section 5.
+
+   Run with: dune exec examples/definition_generation.exe [model]
+   where model is one of GPT-4, GPT-4o, o1, Llama-3, Mistral, Gemma-2. *)
+
+let head ?(lines = 8) text =
+  let all = String.split_on_char '\n' text in
+  let shown = List.filteri (fun i _ -> i < lines) all in
+  String.concat "\n" shown
+  ^ if List.length all > lines then "\n  [... truncated ...]" else ""
+
+let () =
+  let model = if Array.length Sys.argv > 1 then Sys.argv.(1) else "o1" in
+  let scheme = Adg.Profiles.reported_scheme model in
+  let profile =
+    try Adg.Profiles.find ~model ~scheme
+    with Not_found ->
+      Printf.eprintf "unknown model %S\n" model;
+      exit 2
+  in
+  Format.printf "=== Model: %s, prompting scheme: %s ===@.@." model
+    (Adg.Prompt.scheme_name scheme);
+
+  (* The session first teaches the backend the RTEC syntax (prompt R),
+     the two fluent kinds (prompt F or F-star), the input vocabulary
+     (prompt E) and the thresholds (prompt T). *)
+  Format.printf "--- Prompt R (RTEC syntax), first lines ---@.%s@.@."
+    (head (Adg.Prompt.rtec_syntax ()));
+  Format.printf "--- Prompt E (input events and fluents), first lines ---@.%s@.@."
+    (head (Adg.Prompt.events_and_fluents ()));
+
+  let session = Adg.Session.run (Adg.Profiles.backend profile) in
+
+  (* Inspect one generation round: trawling. *)
+  let entry = Maritime.Gold.entry "trawling" in
+  Format.printf "--- Prompt G for 'trawling' ---@.%s@.@."
+    (Adg.Prompt.generation ~activity:entry.name ~description:entry.nl);
+  (match
+     List.find_opt
+       (fun (d : Adg.Session.generated_definition) -> d.activity = "trawling")
+       session.definitions
+   with
+  | Some d -> Format.printf "--- %s's reply ---@.%s@.@." model d.raw
+  | None -> ());
+
+  (* Similarity of every generated definition against the gold standard. *)
+  Format.printf "--- Similarity vs. the hand-crafted definitions ---@.";
+  let scores =
+    List.map
+      (fun (e : Maritime.Gold.entry) ->
+        (e.name, Evaluation.Experiments.similarity_of_definition session e.name))
+      Maritime.Gold.entries
+  in
+  List.iter (fun (name, s) -> Format.printf "  %-20s %.3f@." name s) scores;
+  let avg = List.fold_left (fun a (_, s) -> a +. s) 0. scores /. 21. in
+  Format.printf "  %-20s %.3f@.@." "average" avg;
+
+  (* Minimal syntactic correction (the filled-symbol step). *)
+  let corrected, report = Adg.Correction.correct session in
+  Format.printf "--- Syntactic correction: %d renames ---@."
+    (List.length report.changes);
+  List.iter
+    (fun (c : Adg.Correction.change) ->
+      Format.printf "  in %-18s %s -> %s@." c.definition c.from_name c.to_name)
+    report.changes;
+  List.iter
+    (fun (d, n) -> Format.printf "  unresolved in %-12s %s@." d n)
+    report.unresolved;
+  Format.printf "@.usable by the engine after correction: %b@."
+    (Rtec.Check.usable ~vocabulary:Maritime.Vocabulary.check_vocabulary corrected)

@@ -1,0 +1,61 @@
+(* Online operation: instead of handing the whole stream to Rtec.Window,
+   drive the engine query by query as batches of AIS messages "arrive",
+   carrying fluent states across window boundaries — the run-time loop a
+   deployment would implement. Prints detections as they are recognised.
+
+   Run with: dune exec examples/online_monitoring.exe *)
+
+let hms seconds = Printf.sprintf "%02d:%02d" (seconds / 3600) (seconds mod 3600 / 60)
+
+let () =
+  let dataset =
+    Maritime.Dataset.generate
+      ~config:{ Maritime.Dataset.seed = 2025; replicas = 1; nominal = 1 }
+      ()
+  in
+  let ed = Maritime.Gold.event_description in
+  let window = 3600 and step = 1800 in
+  let lo, hi = Rtec.Stream.extent dataset.stream in
+  Format.printf "stream: %d events in [%d, %d]; window %ds, step %ds@.@."
+    (Rtec.Stream.size dataset.stream) lo hi window step;
+
+  (* State carried between queries: the FVPs holding at the next window
+     start, derived from the previous result. *)
+  let carry = ref [] in
+  let seen = Hashtbl.create 64 in
+  let watched = [ ("trawling", 1); ("pilotBoarding", 2); ("anchoredOrMoored", 1);
+                  ("illegalFishing", 1); ("highSpeedNearCoast", 1) ] in
+  let q = ref (lo + window - 1) in
+  while !q <= hi do
+    let from = max lo (!q - window + 1) in
+    (match
+       Rtec.Engine.run ~carry:!carry ~event_description:ed ~knowledge:dataset.knowledge
+         ~stream:dataset.stream ~from ~until:!q ()
+     with
+    | Error e ->
+      Format.printf "[%s] engine error: %s@." (hms !q) e;
+      carry := []
+    | Ok result ->
+      (* Report newly recognised activity instances. *)
+      List.iter
+        (fun indicator ->
+          List.iter
+            (fun ((fluent, _), _) ->
+              let key = Rtec.Term.to_string fluent in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                Format.printf "[query %s] recognised %s@." (hms !q) key
+              end)
+            (Rtec.Engine.find_fluent result indicator))
+        watched;
+      (* FVPs still holding at the next window's start persist by
+         inertia. *)
+      let next_from = max lo (!q + step - window + 1) in
+      carry :=
+        List.filter_map
+          (fun (fv, spans) -> if Rtec.Interval.mem next_from spans then Some fv else None)
+          result);
+    q := !q + step
+  done;
+  Format.printf "@.%d distinct activity instances recognised online.@."
+    (Hashtbl.length seen)

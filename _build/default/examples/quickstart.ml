@@ -1,0 +1,59 @@
+(* Quickstart: write an RTEC activity definition, feed a small event
+   stream, query the maximal intervals and time-points.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. An event description in concrete RTEC syntax: rules (1)-(3) of the
+     paper, defining when a vessel is within an area of some type. *)
+  let event_description =
+    [
+      Rtec.Parser.parse_definition ~name:"withinArea"
+        {|
+          initiatedAt(withinArea(Vessel, AreaType) = true, T) :-
+              happensAt(entersArea(Vessel, Area), T),
+              areaType(Area, AreaType).
+          terminatedAt(withinArea(Vessel, AreaType) = true, T) :-
+              happensAt(leavesArea(Vessel, Area), T),
+              areaType(Area, AreaType).
+          terminatedAt(withinArea(Vessel, AreaType) = true, T) :-
+              happensAt(gap_start(Vessel), T).
+        |};
+    ]
+  in
+
+  (* 2. Atemporal background knowledge: area a1 is a fishing area. *)
+  let knowledge = Rtec.Knowledge.of_source "areaType(a1, fishing). areaType(a2, natura)." in
+
+  (* 3. A stream of input events. *)
+  let stream =
+    Rtec.Stream.make
+      (List.map
+         (fun (time, src) -> { Rtec.Stream.time; term = Rtec.Parser.parse_term src })
+         [
+           (10, "entersArea(v42, a1)");
+           (55, "leavesArea(v42, a1)");
+           (70, "entersArea(v42, a2)");
+           (95, "gap_start(v42)");
+         ])
+  in
+
+  (* 4. Recognise: compute the maximal intervals of every fluent-value pair. *)
+  match
+    Rtec.Engine.run ~event_description ~knowledge ~stream ~from:0 ~until:100 ()
+  with
+  | Error e -> prerr_endline ("recognition failed: " ^ e)
+  | Ok result ->
+    List.iter
+      (fun ((fluent, value), intervals) ->
+        Format.printf "%a = %a holds for %a@." Rtec.Term.pp fluent Rtec.Term.pp value
+          Rtec.Interval.pp intervals)
+      result;
+    (* 5. Point queries. *)
+    let fvp =
+      (Rtec.Parser.parse_term "withinArea(v42, fishing)", Rtec.Term.Atom "true")
+    in
+    Format.printf "withinArea(v42, fishing) at t=30? %b@."
+      (Rtec.Engine.holds_at result fvp 30);
+    Format.printf "withinArea(v42, fishing) at t=60? %b@."
+      (Rtec.Engine.holds_at result fvp 60)

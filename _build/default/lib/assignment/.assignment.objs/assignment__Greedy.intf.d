@@ -1,0 +1,1 @@
+lib/assignment/greedy.mli:

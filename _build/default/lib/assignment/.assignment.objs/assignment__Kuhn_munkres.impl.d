@@ -1,0 +1,1 @@
+lib/assignment/kuhn_munkres.ml: Array

@@ -1,0 +1,29 @@
+let solve_rectangular cost =
+  let m = Array.length cost in
+  if m = 0 then ([], 0.)
+  else begin
+    let k = Array.length cost.(0) in
+    if k > m then invalid_arg "Greedy.solve_rectangular: more columns than rows";
+    let row_used = Array.make m false and col_used = Array.make k false in
+    let pairs = ref [] and total = ref 0. in
+    for _ = 1 to k do
+      let best = ref None in
+      for i = 0 to m - 1 do
+        if not row_used.(i) then
+          for j = 0 to k - 1 do
+            if not col_used.(j) then
+              match !best with
+              | Some (_, _, c) when c <= cost.(i).(j) -> ()
+              | _ -> best := Some (i, j, cost.(i).(j))
+          done
+      done;
+      match !best with
+      | None -> ()
+      | Some (i, j, c) ->
+        row_used.(i) <- true;
+        col_used.(j) <- true;
+        pairs := (i, j) :: !pairs;
+        total := !total +. c
+    done;
+    (List.rev !pairs, !total)
+  end

@@ -1,0 +1,9 @@
+(** Greedy matching baseline for the assignment problem: repeatedly pair
+    the globally cheapest remaining (row, column) cell. Not optimal — used
+    as an ablation against {!Kuhn_munkres} to show that the similarity
+    metric of the paper needs an optimal mapping. *)
+
+val solve_rectangular : float array array -> (int * int) list * float
+(** Same contract as {!Kuhn_munkres.solve_rectangular}: an [m x k] matrix
+    with [m >= k]; returns the greedy pairs over real columns and their
+    total cost. *)

@@ -1,0 +1,91 @@
+(* Jonker-style O(n^3) implementation of the Hungarian algorithm using
+   potentials and shortest augmenting paths. [u]/[v] are the row/column
+   potentials; [way] records the alternating path for augmentation. Rows
+   and columns are 1-based internally, with index 0 as a sentinel. *)
+let solve cost =
+  let n = Array.length cost in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Kuhn_munkres.solve: matrix is not square")
+    cost;
+  if n = 0 then ([||], 0.)
+  else begin
+    let u = Array.make (n + 1) 0. in
+    let v = Array.make (n + 1) 0. in
+    let p = Array.make (n + 1) 0 in
+    (* p.(j) = row assigned to column j *)
+    let way = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (n + 1) infinity in
+      let used = Array.make (n + 1) false in
+      let continue = ref true in
+      while !continue do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity in
+        let j1 = ref 0 in
+        for j = 1 to n do
+          if not used.(j) then begin
+            let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to n do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue := false
+      done;
+      (* Augment along the alternating path. *)
+      let rec augment j =
+        let j1 = way.(j) in
+        p.(j) <- p.(j1);
+        if j1 <> 0 then augment j1
+      in
+      augment !j0
+    done;
+    let assignment = Array.make n 0 in
+    for j = 1 to n do
+      if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+    done;
+    let total = ref 0. in
+    for i = 0 to n - 1 do
+      total := !total +. cost.(i).(assignment.(i))
+    done;
+    (assignment, !total)
+  end
+
+let solve_rectangular cost =
+  let m = Array.length cost in
+  if m = 0 then ([], 0.)
+  else begin
+    let k = Array.length cost.(0) in
+    if k > m then invalid_arg "Kuhn_munkres.solve_rectangular: more columns than rows";
+    let padded =
+      Array.map
+        (fun row ->
+          if Array.length row <> k then
+            invalid_arg "Kuhn_munkres.solve_rectangular: ragged matrix";
+          Array.init m (fun j -> if j < k then row.(j) else 0.))
+        cost
+    in
+    let assignment, total = solve padded in
+    let pairs = ref [] in
+    for i = m - 1 downto 0 do
+      if assignment.(i) < k then pairs := (i, assignment.(i)) :: !pairs
+    done;
+    (!pairs, total)
+  end

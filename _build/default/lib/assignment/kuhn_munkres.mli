@@ -1,0 +1,17 @@
+(** The Kuhn–Munkres ("Hungarian") algorithm for the assignment problem,
+    with worst-case cost O(n^3) (Kuhn 1955), as used by Definitions 4.5,
+    4.12 and 4.14 of the paper to find the minimum-cost mapping between
+    sets of expressions, body conditions and rules. *)
+
+val solve : float array array -> int array * float
+(** [solve cost] takes a square [n x n] cost matrix and returns
+    [(assignment, total)] where [assignment.(row) = column] describes a
+    perfect matching of minimum total cost. Raises [Invalid_argument] on a
+    non-square matrix. The empty matrix yields [([||], 0.)]. *)
+
+val solve_rectangular : float array array -> (int * int) list * float
+(** Convenience wrapper for an [m x k] matrix with [m >= k]: pads the
+    missing columns with zero-cost "unmatched" slots, exactly as the cost
+    matrix of Definition 4.3 does, and returns the optimal pairs
+    [(row, column)] restricted to real columns, plus the total cost over
+    all [m] rows (the padded slots contribute 0). *)

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Domain Error_model List Maritime Printf Prompt Rtec String

@@ -1,0 +1,1 @@
+lib/core/backend.mli: Domain Error_model Prompt

@@ -1,0 +1,1 @@
+lib/core/correction.ml: Array Ast Domain List Maritime Option Rtec Session String Term

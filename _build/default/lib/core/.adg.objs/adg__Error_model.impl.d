@@ -1,0 +1,1 @@
+lib/core/error_model.ml: Ast List Maritime Option Printf Rtec String Term

@@ -1,0 +1,1 @@
+lib/core/profiles.ml: Backend Domain Error_model Float Hashtbl List Maritime Prompt Rtec String

@@ -1,0 +1,1 @@
+lib/core/profiles.mli: Backend Domain Error_model Prompt

@@ -1,0 +1,1 @@
+lib/core/prompt.ml: Buffer Domain List Maritime Printf Rtec String

@@ -1,0 +1,1 @@
+lib/core/session.ml: Backend Domain List Maritime Prompt Rtec

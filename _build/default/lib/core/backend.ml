@@ -1,0 +1,30 @@
+type t = {
+  model : string;
+  scheme : Prompt.scheme;
+  complete : history:(string * string) list -> prompt:string -> string;
+}
+
+let label b = b.model ^ Prompt.scheme_symbol b.scheme
+
+let find_gold_by_description domain description =
+  List.find_opt
+    (fun (e : Domain.entry) ->
+      (* Prompt G quotes the entry's description verbatim. *)
+      String.equal (String.trim e.nl) (String.trim description))
+    domain.Domain.entries
+
+let simulated ?(domain = Maritime.Domain_def.domain) ~model ~scheme ~mutations_for () =
+  let complete ~history:_ ~prompt =
+    match Prompt.extract_description prompt with
+    | None -> "Understood."
+    | Some description -> (
+      match find_gold_by_description domain description with
+      | None -> "% I could not identify the requested activity."
+      | Some entry ->
+        let latent = Rtec.Parser.parse_definition ~name:entry.name entry.source in
+        let mutations = mutations_for ~activity:entry.name in
+        let generated = Error_model.apply_all mutations latent in
+        Printf.sprintf "%% The activity '%s' in the language of RTEC:\n%s" entry.name
+          (Rtec.Printer.definition_to_string generated))
+  in
+  { model; scheme; complete }

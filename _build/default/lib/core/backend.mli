@@ -1,0 +1,31 @@
+(** LLM backends.
+
+    A backend answers prompts; the generation session is backend-agnostic.
+    In the paper the backends are the OpenAI/Groq APIs; in this
+    reproduction they are deterministic simulators that perturb a latent
+    correct formalisation with a per-model error profile (see DESIGN.md,
+    substitutions). The interface is the seam where a real HTTP backend
+    would plug in. *)
+
+type t = {
+  model : string;
+  scheme : Prompt.scheme;
+  complete : history:(string * string) list -> prompt:string -> string;
+      (** [history] holds previous (prompt, reply) exchanges. *)
+}
+
+val label : t -> string
+(** E.g. ["o1" ^ square] — model plus prompting-scheme symbol. *)
+
+val simulated :
+  ?domain:Domain.t ->
+  model:string ->
+  scheme:Prompt.scheme ->
+  mutations_for:(activity:string -> Error_model.mutation list) ->
+  unit ->
+  t
+(** A simulated backend. On a prompt-G request it identifies the activity
+    by its quoted description, recalls the gold formalisation, applies the
+    profile's mutations and renders the result to RTEC text (prefixed, as
+    chat models do, with a one-line remark that the parser skips as a
+    comment). Other prompts are acknowledged. *)

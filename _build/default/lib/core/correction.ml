@@ -1,0 +1,125 @@
+open Rtec
+
+type change = { definition : string; from_name : string; to_name : string }
+type report = { changes : change list; unresolved : (string * string) list }
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let reserved =
+  [ "initiatedAt"; "terminatedAt"; "holdsAt"; "holdsFor"; "happensAt"; "not";
+    "union_all"; "intersect_all"; "relative_complement_all"; "="; "<"; ">"; ">=";
+    "=<"; "\\="; "+"; "-"; "*"; "/"; "[]"; "true"; "false" ]
+
+let identifiers_of_definition (d : Ast.definition) =
+  let rec go acc t =
+    match t with
+    | Term.Var _ | Term.Int _ | Term.Real _ -> acc
+    | Term.Atom a -> a :: acc
+    | Term.Compound (f, args) -> List.fold_left go (f :: acc) args
+  in
+  List.fold_left (fun acc (r : Ast.rule) -> List.fold_left go acc (r.head :: r.body)) []
+    d.rules
+  |> List.sort_uniq String.compare
+  |> List.filter (fun n -> not (List.mem n reserved))
+
+let nearest known name =
+  (* Small-typo matching: accept a vocabulary name within edit distance 2
+     (case-insensitive comparison), preferring the closest. *)
+  let lower = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun best candidate ->
+        let d = edit_distance lower (String.lowercase_ascii candidate) in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ -> if d <= 2 then Some (candidate, d) else best)
+      None known
+  in
+  Option.map fst best
+
+let resolve ~synonyms known name =
+  if List.mem name known then None
+  else
+    let canonical_of name =
+      List.find_opt (fun (_, v) -> String.equal v name) synonyms |> Option.map fst
+    in
+    match canonical_of name with
+    | Some canonical when List.mem canonical known -> Some canonical
+    | _ -> nearest known name
+
+let rename_everywhere old_name new_name ed =
+  let rec rn t =
+    match t with
+    | Term.Var _ | Term.Int _ | Term.Real _ -> t
+    | Term.Atom a -> if String.equal a old_name then Term.Atom new_name else t
+    | Term.Compound (f, args) ->
+      Term.Compound ((if String.equal f old_name then new_name else f), List.map rn args)
+  in
+  Ast.map_terms rn ed
+
+let head_fluent_name (d : Ast.definition) =
+  match d.rules with
+  | r :: _ -> (
+    match Ast.kind_of_rule r with
+    | Some
+        ( Ast.Initiated { fluent; _ }
+        | Ast.Terminated { fluent; _ }
+        | Ast.Holds_for { fluent; _ } ) -> Some (Term.functor_of fluent)
+    | None -> None)
+  | [] -> None
+
+let correct_event_description ?(synonyms = Maritime.Domain_def.synonyms) ~known ed =
+  let changes = ref [] and unresolved = ref [] in
+  (* Pass 1: realign each definition's head fluent with its activity
+     label; the rename applies to the whole event description so that
+     later definitions referring to the renamed activity stay consistent. *)
+  let ed =
+    List.fold_left
+      (fun ed (d : Ast.definition) ->
+        match head_fluent_name d with
+        | Some f when not (String.equal f d.name) && not (List.mem f known) ->
+          changes := { definition = d.name; from_name = f; to_name = d.name } :: !changes;
+          rename_everywhere f d.name ed
+        | _ -> ed)
+      ed ed
+  in
+  (* Pass 2: fix remaining unknown identifiers. Names of activities
+     defined by the event description itself are known. *)
+  let known = known @ List.map (fun (d : Ast.definition) -> d.name) ed in
+  let ed =
+    List.fold_left
+      (fun ed (d : Ast.definition) ->
+        List.fold_left
+          (fun ed name ->
+            if List.mem name known then ed
+            else
+              match resolve ~synonyms known name with
+              | Some fixed ->
+                changes :=
+                  { definition = d.name; from_name = name; to_name = fixed } :: !changes;
+                rename_everywhere name fixed ed
+              | None ->
+                unresolved := (d.name, name) :: !unresolved;
+                ed)
+          ed
+          (identifiers_of_definition d))
+      ed ed
+  in
+  (ed, { changes = List.rev !changes; unresolved = List.rev !unresolved })
+
+let correct ?(domain = Maritime.Domain_def.domain) (session : Session.t) =
+  let ed = Session.event_description session in
+  correct_event_description ~synonyms:domain.Domain.synonyms
+    ~known:(Domain.known_names domain) ed

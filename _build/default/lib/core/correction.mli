@@ -1,0 +1,32 @@
+(** Minimal syntactic correction — the step that turns X-square/X-triangle
+    event descriptions into the X-filled variants of Figures 2b/2c.
+
+    The corrector performs only the "minimum required changes" of Section
+    5.2: renaming constants and predicates so that the event description
+    becomes compatible with the input vocabulary and with itself. It fixes
+    names through (i) the activity label of each definition (the head
+    fluent must be the requested activity), (ii) the domain synonym
+    lexicon (e.g. 'trawlingArea' denotes the 'fishing' area type), and
+    (iii) nearest-name matching against the vocabulary for small typos.
+    It deliberately does not touch structure: wrong fluent kinds, wrong
+    interval operations and transposed arguments survive, as they did in
+    the paper. *)
+
+type change = { definition : string; from_name : string; to_name : string }
+
+type report = {
+  changes : change list;
+  unresolved : (string * string) list;
+      (** (definition, identifier) names left unknown *)
+}
+
+val correct : ?domain:Domain.t -> Session.t -> Rtec.Ast.t * report
+(** Corrects every parsed definition of a session. *)
+
+val correct_event_description :
+  ?synonyms:(string * string) list -> known:string list -> Rtec.Ast.t ->
+  Rtec.Ast.t * report
+(** The name-fixing pass alone, against an arbitrary known-name list. *)
+
+val edit_distance : string -> string -> int
+(** Levenshtein distance (case-sensitive), exposed for testing. *)

@@ -1,0 +1,217 @@
+open Rtec
+
+type mutation =
+  | Rename of string * string
+  | Transpose_args of string
+  | Confuse_union
+  | Drop_literal of string
+  | Drop_rule of int
+  | Drop_condition of int
+  | Add_redundant
+  | Extra_rule
+  | Wrong_kind
+  | Replace_reference of string * string
+
+(* The maritime naming lexicon, re-exported for convenience; domain-aware
+   callers should use the [synonyms] field of their [Domain.t] instead. *)
+let synonyms = Maritime.Domain_def.synonyms
+
+let variant_of name =
+  List.find_opt (fun (c, _) -> String.equal c name) synonyms |> Option.map snd
+
+let canonical_of name =
+  List.find_opt (fun (_, v) -> String.equal v name) synonyms |> Option.map fst
+
+let rec rename_term old_name new_name t =
+  match t with
+  | Term.Var _ | Term.Int _ | Term.Real _ -> t
+  | Term.Atom a -> if String.equal a old_name then Term.Atom new_name else t
+  | Term.Compound (f, args) ->
+    let f = if String.equal f old_name then new_name else f in
+    Term.Compound (f, List.map (rename_term old_name new_name) args)
+
+let rec transpose functor_ t =
+  match t with
+  | Term.Var _ | Term.Atom _ | Term.Int _ | Term.Real _ -> t
+  | Term.Compound (f, args) ->
+    let args = List.map (transpose functor_) args in
+    if String.equal f functor_ then Term.Compound (f, List.rev args)
+    else Term.Compound (f, args)
+
+let rec confuse t =
+  match t with
+  | Term.Compound ("union_all", args) -> Term.Compound ("intersect_all", List.map confuse args)
+  | Term.Compound (f, args) -> Term.Compound (f, List.map confuse args)
+  | _ -> t
+
+(* Rename a fluent only where it appears inside body holdsAt/holdsFor
+   literals, producing a dangling reference (error category 3). *)
+let replace_reference old_name new_name (r : Ast.rule) =
+  let rewrite literal =
+    let positive, atom = Term.strip_not literal in
+    let atom' =
+      match atom with
+      | Term.Compound (("holdsAt" | "holdsFor") as p, [ fv; t ]) -> (
+        match Term.as_fvp fv with
+        | Some (f, v) when String.equal (Term.functor_of f) old_name ->
+          Term.Compound (p, [ Term.eq (rename_term old_name new_name f) v; t ])
+        | _ -> atom)
+      | _ -> atom
+    in
+    if positive then atom' else Term.neg atom'
+  in
+  { r with Ast.body = List.map rewrite r.Ast.body }
+
+(* The inverse wrong-kind error: a simple fluent re-expressed as a (wrong)
+   statically determined one, as GPT-4o did for 'movingSpeed'. Every value
+   of the fluent is equated with the intervals of 'lowSpeed'. *)
+let wrong_kind_simple (d : Ast.definition) =
+  let heads =
+    List.filter_map
+      (fun r ->
+        match Ast.kind_of_rule r with
+        | Some (Ast.Initiated { fluent; value; _ }) -> Some (fluent, value)
+        | _ -> None)
+      d.rules
+  in
+  let distinct =
+    List.sort_uniq (fun (f1, v1) (f2, v2) ->
+        let c = Term.compare f1 f2 in
+        if c <> 0 then c else Term.compare v1 v2)
+      heads
+  in
+  let rules =
+    List.map
+      (fun (fluent, value) ->
+        let vessel = match Term.args fluent with v :: _ -> v | [] -> Term.Var "Vessel" in
+        Ast.rule
+          (Term.app "holdsFor" [ Term.eq fluent value; Term.Var "I" ])
+          [
+            Term.app "holdsFor"
+              [ Term.eq (Term.app "lowSpeed" [ vessel ]) (Term.Atom "true"); Term.Var "I1" ];
+            Term.app "intersect_all" [ Term.list_ [ Term.Var "I1" ]; Term.Var "I" ];
+          ])
+      distinct
+  in
+  if rules = [] then d else { d with rules }
+
+(* A plausible-but-wrong simple-fluent re-expression of a statically
+   determined definition: initiate on any position signal while the first
+   constituent FVP holds; terminate on a communication gap. *)
+let wrong_kind (d : Ast.definition) =
+  match Ast.all_rules [ d ] with
+  | { Ast.head = Term.Compound (("initiatedAt" | "terminatedAt"), _); _ } :: _ ->
+    wrong_kind_simple d
+  | { Ast.head = Term.Compound ("holdsFor", [ fv; _ ]); body } :: _ -> (
+    match (Term.as_fvp fv, body) with
+    | Some (fluent, value), Term.Compound ("holdsFor", [ first_fv; _ ]) :: _ ->
+      let t = Term.Var "T" in
+      let vessel =
+        match Term.args fluent with v :: _ -> v | [] -> Term.Var "Vessel"
+      in
+      let init =
+        Ast.rule
+          (Term.app "initiatedAt" [ Term.eq fluent value; t ])
+          [
+            Term.app "happensAt"
+              [ Term.app "velocity"
+                  [ vessel; Term.Var "Speed"; Term.Var "CoG"; Term.Var "Heading" ];
+                t ];
+            Term.app "holdsAt" [ first_fv; t ];
+          ]
+      in
+      let terminate =
+        Ast.rule
+          (Term.app "terminatedAt" [ Term.eq fluent value; t ])
+          [ Term.app "happensAt" [ Term.app "gap_start" [ vessel ]; t ] ]
+      in
+      { d with rules = [ init; terminate ] }
+    | _ -> d)
+  | _ -> d
+
+(* Redundancy by restating a condition the rule already has: domain
+   independent and detection-neutral (conjunction is idempotent), while
+   the metric still pays the unmatched-condition penalty. *)
+let redundant_condition (r : Ast.rule) =
+  match Ast.kind_of_rule r with
+  | Some (Ast.Initiated _ | Ast.Terminated _) -> (
+    match List.rev r.Ast.body with
+    | last :: _ -> { r with Ast.body = r.Ast.body @ [ last ] }
+    | [] -> r)
+  | Some (Ast.Holds_for _) -> (
+    (* Duplicate the first holdsFor condition under a fresh interval
+       variable, inserted right after it so dataflow stays valid. *)
+    match r.Ast.body with
+    | (Term.Compound ("holdsFor", [ fv; _ ]) as first) :: rest ->
+      let used = List.concat_map Term.vars (r.Ast.head :: r.Ast.body) in
+      let rec fresh i =
+        let candidate = if i = 0 then "Iredundant" else Printf.sprintf "Iredundant%d" i in
+        if List.mem candidate used then fresh (i + 1) else candidate
+      in
+      let extra = Term.app "holdsFor" [ fv; Term.Var (fresh 0) ] in
+      { r with Ast.body = first :: extra :: rest }
+    | _ -> r)
+  | None -> r
+
+(* A spurious additional rule for the definition's FVP: the over-complete
+   case an LLM adds "for safety". Restating an existing rule is domain
+   independent and detection-neutral (the recognised intervals are
+   unchanged), while Definition 4.14 still pays the unmatched-rule
+   penalty. *)
+let extra_rule (d : Ast.definition) =
+  match List.rev d.rules with
+  | last :: _ -> { d with rules = d.rules @ [ last ] }
+  | [] -> d
+
+let drop_condition i (d : Ast.definition) =
+  let rules =
+    List.mapi
+      (fun j (r : Ast.rule) ->
+        if j <> i || List.length r.body < 2 then r
+        else
+          match List.rev r.body with
+          | _ :: kept -> { r with Ast.body = List.rev kept }
+          | [] -> r)
+      d.rules
+  in
+  { d with rules }
+
+let apply mutation (d : Ast.definition) =
+  match mutation with
+  | Rename (old_name, new_name) ->
+    (match Ast.map_terms (rename_term old_name new_name) [ d ] with
+    | [ d' ] -> d'
+    | _ -> d)
+  | Transpose_args functor_ ->
+    (match Ast.map_terms (transpose functor_) [ d ] with [ d' ] -> d' | _ -> d)
+  | Confuse_union -> (
+    match Ast.map_terms confuse [ d ] with [ d' ] -> d' | _ -> d)
+  | Drop_literal functor_ ->
+    let keep literal =
+      let _, atom = Term.strip_not literal in
+      not (String.equal (Term.functor_of atom) functor_)
+    in
+    let rules =
+      List.filter_map
+        (fun (r : Ast.rule) ->
+          let body = List.filter keep r.body in
+          (* A simple-fluent rule whose triggering event was dropped is
+             dropped entirely, as an LLM omitting that case would do. *)
+          match (r.body, body) with
+          | _ :: _, [] -> None
+          | _ -> Some { r with Ast.body })
+        d.rules
+    in
+    { d with rules }
+  | Drop_rule i -> { d with rules = List.filteri (fun j _ -> j <> i) d.rules }
+  | Drop_condition i -> drop_condition i d
+  | Extra_rule -> extra_rule d
+  | Add_redundant -> (
+    match d.rules with
+    | first :: rest -> { d with rules = redundant_condition first :: rest }
+    | [] -> d)
+  | Wrong_kind -> wrong_kind d
+  | Replace_reference (old_name, new_name) ->
+    { d with rules = List.map (replace_reference old_name new_name) d.rules }
+
+let apply_all mutations d = List.fold_left (fun d m -> apply m d) d mutations

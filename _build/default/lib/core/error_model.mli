@@ -1,0 +1,47 @@
+(** The LLM error taxonomy of Section 5.2, as executable mutations.
+
+    Simulated backends perturb a latent (correct) formalisation with these
+    mutations before rendering it to text. Each mutation corresponds to an
+    error category observed in the paper's qualitative assessment:
+    - {!Rename}: minor divergences in the names chosen for events,
+      activities and background knowledge (category 1);
+    - {!Wrong_kind}: modelling with the wrong fluent kind (category 2);
+    - {!Replace_reference}: conditions over undefined activities
+      (category 3);
+    - {!Confuse_union}, {!Transpose_args}, {!Drop_literal}, {!Drop_rule},
+      {!Add_redundant}: failures at multi-operation definitions
+      (category 4). *)
+
+type mutation =
+  | Rename of string * string
+      (** rename an identifier (predicate functor or constant) everywhere *)
+  | Transpose_args of string  (** reverse the arguments of a predicate *)
+  | Confuse_union  (** use [intersect_all] in place of [union_all] *)
+  | Drop_literal of string
+      (** delete body literals whose atom has the given functor *)
+  | Drop_rule of int  (** delete the i-th rule (0-based) *)
+  | Drop_condition of int
+      (** delete the last body literal of the i-th rule (when it has at
+          least two) *)
+  | Add_redundant  (** insert one redundant, well-formed condition *)
+  | Extra_rule
+      (** append a spurious (detection-neutral) rule for the same FVP *)
+  | Wrong_kind
+      (** re-express a statically determined definition as a (wrong)
+          simple fluent, as Gemma-2 did for 'trawling' *)
+  | Replace_reference of string * string
+      (** rename a fluent referenced in rule bodies only, leaving a
+          dangling reference to an undefined activity *)
+
+val apply : mutation -> Rtec.Ast.definition -> Rtec.Ast.definition
+val apply_all : mutation list -> Rtec.Ast.definition -> Rtec.Ast.definition
+
+val synonyms : (string * string) list
+(** [(canonical, variant)] naming pairs: plausible alternative names an
+    LLM picks for domain identifiers. Error models draw renames from this
+    table; the syntactic corrector knows it too (it codifies the human
+    domain knowledge used for the manual corrections of Section 5.2, e.g.
+    'trawlingArea' means 'fishing'). *)
+
+val variant_of : string -> string option
+val canonical_of : string -> string option

@@ -1,0 +1,238 @@
+type t = {
+  model : string;
+  scheme : Prompt.scheme;
+  rename_rate : float;
+  transpose_rate : float;
+  drop_rate : float;
+  redundant_rate : float;
+  condition_drop_rate : float;
+  extra_rule_rate : float;
+  pinned : (string * Error_model.mutation list) list;
+}
+
+let models = [ "GPT-4"; "GPT-4o"; "o1"; "Llama-3"; "Mistral"; "Gemma-2" ]
+
+let reported_scheme = function
+  | "GPT-4o" | "Mistral" | "Gemma-2" -> Prompt.Chain_of_thought
+  | _ -> Prompt.Few_shot
+
+(* Scripted headline errors per model (Section 5.2). *)
+let pinned_gpt4 =
+  [
+    ("trawling",
+     [ Error_model.Replace_reference ("trawlSpeed", "towingSpeed");
+       Error_model.Replace_reference ("trawlingMovement", "fishingPattern");
+       Error_model.Extra_rule; Error_model.Extra_rule; Error_model.Add_redundant ]);
+  ]
+
+let pinned_gpt4o =
+  [
+    ("loitering", [ Error_model.Confuse_union ]);
+    ("movingSpeed", [ Error_model.Wrong_kind ]);
+    ("trawling", [ Error_model.Add_redundant ]);
+    ("pilotBoarding", [ Error_model.Replace_reference ("lowSpeed", "slowMotion") ]);
+    ("drifting", [ Error_model.Drop_rule 2 ]);
+  ]
+
+let pinned_o1 =
+  [
+    ("trawling", [ Error_model.Add_redundant ]);
+    (* The constant the paper had to rename back to 'fishing' appears in
+       the area conditions, i.e. in the trawlSpeed helper. *)
+    ("trawlSpeed", [ Error_model.Rename ("fishing", "trawlingArea") ]);
+    ("loitering", [ Error_model.Rename ("farFromPorts", "awayFromPorts") ]);
+    ("pilotBoarding", [ Error_model.Extra_rule ]);
+  ]
+
+let pinned_llama3 =
+  [
+    ("loitering", [ Error_model.Confuse_union ]);
+    ("trawling", [ Error_model.Add_redundant ]);
+    ("pilotBoarding", [ Error_model.Replace_reference ("pilotSpeed", "boardingSpeed") ]);
+    ("highSpeedNearCoast", [ Error_model.Drop_rule 2 ]);
+  ]
+
+let pinned_mistral =
+  [
+    ("trawling",
+     [ Error_model.Replace_reference ("trawlSpeed", "netSpeed");
+       Error_model.Replace_reference ("trawlingMovement", "trawlPattern");
+       Error_model.Transpose_args "intersect_all"; Error_model.Extra_rule;
+       Error_model.Extra_rule ]);
+    ("loitering", [ Error_model.Confuse_union ]);
+  ]
+
+let pinned_gemma2 =
+  [
+    ("trawling", [ Error_model.Wrong_kind ]);
+    ("loitering",
+     [ Error_model.Confuse_union; Error_model.Drop_literal "relative_complement_all" ]);
+    ("searchAndRescue", [ Error_model.Replace_reference ("sarMovement", "sarPattern") ]);
+  ]
+
+(* Profiles of the reported schemes; the other scheme of each model is
+   derived by [find] with the same rates plus handicap noise. *)
+let reported_table =
+  let p model rename_rate transpose_rate drop_rate redundant_rate condition_drop_rate
+      extra_rule_rate pinned =
+    { model; scheme = reported_scheme model; rename_rate; transpose_rate; drop_rate;
+      redundant_rate; condition_drop_rate; extra_rule_rate; pinned }
+  in
+  [
+    (* Top three models avoid the mutation kinds that break recognition
+       structurally (transpositions, condition drops), matching the
+       paper's observation that they got the simple FVPs right. *)
+    p "GPT-4" 0.65 0.20 0.45 0.40 0.35 0.55 pinned_gpt4;
+    p "GPT-4o" 0.36 0.00 0.08 0.30 0.00 0.08 pinned_gpt4o;
+    p "o1" 0.30 0.00 0.05 0.30 0.00 0.00 pinned_o1;
+    p "Llama-3" 0.52 0.00 0.26 0.45 0.00 0.38 pinned_llama3;
+    p "Mistral" 0.70 0.25 0.55 0.30 0.45 0.70 pinned_mistral;
+    p "Gemma-2" 0.75 0.30 0.60 0.30 0.50 0.75 pinned_gemma2;
+  ]
+
+let find ~model ~scheme =
+  match List.find_opt (fun p -> String.equal p.model model) reported_table with
+  | Some p -> { p with scheme }
+  | None -> raise Not_found
+
+let all =
+  List.concat_map
+    (fun model ->
+      [ find ~model ~scheme:Prompt.Few_shot; find ~model ~scheme:Prompt.Chain_of_thought ])
+    models
+
+(* Identifiers (functors and constants) occurring in a definition. *)
+let identifiers (d : Rtec.Ast.definition) =
+  let rec go acc t =
+    match t with
+    | Rtec.Term.Var _ | Rtec.Term.Int _ | Rtec.Term.Real _ -> acc
+    | Rtec.Term.Atom a -> a :: acc
+    | Rtec.Term.Compound (f, args) -> List.fold_left go (f :: acc) args
+  in
+  List.fold_left
+    (fun acc (r : Rtec.Ast.rule) -> List.fold_left go acc (r.head :: r.body))
+    [] d.rules
+  |> List.sort_uniq String.compare
+
+(* The index of the last terminatedAt rule: stochastic omissions hit
+   termination conditions (inflating intervals) rather than the rule that
+   creates the activity, which matches the gradual errors of the paper's
+   qualitative assessment. *)
+let last_termination_index (d : Rtec.Ast.definition) =
+  let rec go i best = function
+    | [] -> best
+    | r :: rest ->
+      let best =
+        match Rtec.Ast.kind_of_rule r with
+        | Some (Rtec.Ast.Terminated _) -> Some i
+        | _ -> best
+      in
+      go (i + 1) best rest
+  in
+  go 0 None d.rules
+
+(* Names a pinned mutation already manipulates: stochastic renames must
+   not mask them. *)
+let pinned_names pinned =
+  List.concat_map
+    (fun m ->
+      match m with
+      | Error_model.Rename (a, b) | Error_model.Replace_reference (a, b) -> [ a; b ]
+      | _ -> [])
+    pinned
+
+let stochastic ~synonyms ~rng ~latent ~ids ~profile ~protected =
+  let roll rate = Maritime.Scenario.Rng.float rng 1.0 < rate in
+  let renames =
+    List.filter_map
+      (fun (canonical, variant) ->
+        if
+          List.mem canonical ids
+          && (not (List.mem canonical protected))
+          && roll profile.rename_rate
+        then Some (Error_model.Rename (canonical, variant))
+        else None)
+      synonyms
+  in
+  let transposes =
+    if List.mem "areaType" ids && roll profile.transpose_rate then
+      [ Error_model.Transpose_args "areaType" ]
+    else []
+  in
+  let drops =
+    match last_termination_index latent with
+    | Some i when roll profile.drop_rate -> [ Error_model.Drop_rule i ]
+    | _ -> []
+  in
+  let condition_drops =
+    let n = List.length latent.Rtec.Ast.rules in
+    if n > 0 && roll profile.condition_drop_rate then
+      [ Error_model.Drop_condition (Maritime.Scenario.Rng.int rng n) ]
+    else []
+  in
+  let extras = if roll profile.extra_rule_rate then [ Error_model.Extra_rule ] else [] in
+  let redundant = if roll profile.redundant_rate then [ Error_model.Add_redundant ] else [] in
+  renames @ transposes @ drops @ condition_drops @ extras @ redundant
+
+(* Handicap rates for the model's non-reported scheme: extra noise on top
+   of the reported scheme's mutations, so that the reported scheme wins
+   best-of-scheme selection. *)
+let handicap_profile profile =
+  { profile with rename_rate = 0.30; transpose_rate = 0.15; drop_rate = 0.35;
+    redundant_rate = 0.30; condition_drop_rate = 0.25; extra_rule_rate = 0.40 }
+
+let mutations_for ?(domain = Maritime.Domain_def.domain) profile ~activity =
+  let entry = Domain.entry domain activity in
+  let latent = Rtec.Parser.parse_definition ~name:activity entry.source in
+  let ids = identifiers latent in
+  let pinned =
+    match List.assoc_opt activity profile.pinned with Some ms -> ms | None -> []
+  in
+  let protected = pinned_names pinned in
+  (* Base noise depends only on (model, activity): both schemes share it. *)
+  let base_rng = Maritime.Scenario.Rng.create (Hashtbl.hash (profile.model, activity)) in
+  let synonyms = domain.Domain.synonyms in
+  let base = stochastic ~synonyms ~rng:base_rng ~latent ~ids ~profile ~protected in
+  let extra =
+    if profile.scheme = reported_scheme profile.model then []
+    else
+      let rng =
+        Maritime.Scenario.Rng.create
+          (Hashtbl.hash (profile.model, Prompt.scheme_name profile.scheme, activity, "handicap"))
+      in
+      stochastic ~synonyms ~rng ~latent ~ids ~profile:(handicap_profile profile) ~protected
+  in
+  (* Pinned mutations last: they must not be masked by stochastic ones. *)
+  base @ extra @ pinned
+
+let backend ?(domain = Maritime.Domain_def.domain) profile =
+  Backend.simulated ~domain ~model:profile.model ~scheme:profile.scheme
+    ~mutations_for:(fun ~activity -> mutations_for ~domain profile ~activity)
+    ()
+
+(* Zero-shot ablation: without the prompt-F examples the models often
+   answer in prose, or produce rules with far heavier errors — the paper
+   found zero-shot results poor enough to exclude the scheme from the
+   pipeline. We simulate this by replacing a large fraction of the
+   formalisations with a natural-language reply (unusable: similarity 0)
+   and degrading the rest with handicap-level noise. *)
+let zero_shot_backend ?(domain = Maritime.Domain_def.domain) profile =
+  let prose_rate = Float.min 0.8 (0.35 +. profile.drop_rate) in
+  let complete ~history ~prompt =
+    match Prompt.extract_description prompt with
+    | None -> "Understood."
+    | Some description ->
+      let seed = Hashtbl.hash (profile.model, "zero-shot", description) in
+      let rng = Maritime.Scenario.Rng.create seed in
+      if Maritime.Scenario.Rng.float rng 1.0 < prose_rate then
+        "To detect this activity, one would monitor the relevant input \
+         events and consider the activity to be ongoing between a starting \
+         and an ending condition, as described above."
+      else
+        let handicapped =
+          { (handicap_profile profile) with scheme = profile.scheme }
+        in
+        let inner = backend ~domain handicapped in
+        inner.Backend.complete ~history ~prompt
+  in
+  { Backend.model = profile.model; scheme = profile.scheme; complete }

@@ -1,0 +1,54 @@
+(** Error profiles for the six evaluated LLMs under both prompting
+    schemes.
+
+    A profile turns the error taxonomy into a per-activity mutation list:
+    stochastic naming/structural errors drawn from a deterministic
+    generator seeded by (model, activity), plus pinned mutations that
+    encode the headline observations of Section 5.2 (e.g. Gemma-2's
+    wrong-kind 'trawling', GPT-4o's and Llama-3's union/intersect
+    confusion on 'loitering', o1's 'trawlingArea' constant).
+
+    Each model has a {e reported scheme} — the prompting scheme that the
+    paper found best for it (square = few-shot, triangle =
+    chain-of-thought). The other scheme produces a strict superset of the
+    reported scheme's mutations, so best-of-scheme selection is
+    deterministic. *)
+
+type t = {
+  model : string;
+  scheme : Prompt.scheme;
+  rename_rate : float;  (** probability of adopting a variant name *)
+  transpose_rate : float;  (** probability of transposing [areaType] arguments *)
+  drop_rate : float;
+      (** probability of omitting a termination rule of a definition *)
+  redundant_rate : float;  (** probability of one redundant condition *)
+  condition_drop_rate : float;
+      (** probability of losing the last condition of some rule *)
+  extra_rule_rate : float;  (** probability of one spurious extra rule *)
+  pinned : (string * Error_model.mutation list) list;
+      (** per-activity scripted mutations *)
+}
+
+val models : string list
+(** ["GPT-4"; "GPT-4o"; "o1"; "Llama-3"; "Mistral"; "Gemma-2"]. *)
+
+val reported_scheme : string -> Prompt.scheme
+(** The scheme the paper reports for each model: few-shot for GPT-4, o1
+    and Llama-3; chain-of-thought for GPT-4o, Mistral and Gemma-2. *)
+
+val find : model:string -> scheme:Prompt.scheme -> t
+(** Raises [Not_found] for an unknown model. *)
+
+val all : t list
+
+val mutations_for : ?domain:Domain.t -> t -> activity:string -> Error_model.mutation list
+(** The deterministic mutation list the simulated backend applies when
+    asked to formalise [activity]. *)
+
+val backend : ?domain:Domain.t -> t -> Backend.t
+
+val zero_shot_backend : ?domain:Domain.t -> t -> Backend.t
+(** The zero-shot ablation: the paper reports that zero-shot prompting
+    "produced poor results" and excludes it from the pipeline. This
+    backend simulates the missing prompt-F examples: most formalisations
+    come back as prose (unusable), the rest with heavy noise. *)

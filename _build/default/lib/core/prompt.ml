@@ -1,0 +1,252 @@
+type scheme = Few_shot | Chain_of_thought
+
+let scheme_name = function
+  | Few_shot -> "few-shot"
+  | Chain_of_thought -> "chain-of-thought"
+
+let scheme_symbol = function Few_shot -> "\xe2\x96\xa1" | Chain_of_thought -> "\xe2\x96\xb3"
+
+let corrected_symbol = function
+  | Few_shot -> "\xe2\x96\xa0"
+  | Chain_of_thought -> "\xe2\x96\xb2"
+
+let rtec_syntax () =
+  "You will write composite activity definitions in the language of the \
+   Run-Time Event Calculus (RTEC). RTEC uses a linear time-line with \
+   non-negative integer time-points. A fluent-value pair F=V denotes that \
+   fluent F has value V. happensAt(E, T) signifies that event E occurs at \
+   time-point T. initiatedAt(F=V, T), respectively terminatedAt(F=V, T), \
+   expresses that a time period during which F has value V continuously is \
+   initiated, respectively terminated, at T. holdsAt(F=V, T) states that F \
+   has value V at T, while holdsFor(F=V, I) expresses that F=V holds \
+   continuously in the maximal intervals of list I.\n\n\
+   Rules are written as logic programming clauses: head :- body, where the \
+   body is a comma-separated list of conditions and every clause ends with \
+   a period. 'not' expresses negation-by-failure. The interval manipulation \
+   constructs union_all(L, I), intersect_all(L, I) and \
+   relative_complement_all(I', L, I) operate on lists of maximal-interval \
+   lists."
+
+(* The concrete example rules quoted in prompt F; lines 8, 11, 14 and
+   24-28 of the prompt in the paper. *)
+let within_area_rules =
+  [
+    "initiatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+    \    happensAt(entersArea(Vessel, Area), T),\n\
+    \    areaType(Area, AreaType).";
+    "terminatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+    \    happensAt(leavesArea(Vessel, Area), T),\n\
+    \    areaType(Area, AreaType).";
+    "terminatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+    \    happensAt(gap_start(Vessel), T).";
+  ]
+
+let under_way_rule =
+  "holdsFor(underWay(Vessel)=true, I) :-\n\
+  \    holdsFor(movingSpeed(Vessel)=below, I1),\n\
+  \    holdsFor(movingSpeed(Vessel)=normal, I2),\n\
+  \    holdsFor(movingSpeed(Vessel)=above, I3),\n\
+  \    union_all([I1, I2, I3], I)."
+
+let within_area_nl =
+  "Composite Maritime Activity Description: 'withinArea'. This activity \
+   starts when a vessel enters an area of interest. The activity ends when \
+   the vessel leaves the area that it had entered. When there is a gap in \
+   signal transmissions, we can no longer assume that the vessel remains \
+   in the same area."
+
+let under_way_nl =
+  "Composite Maritime Activity Description: 'underWay'. This activity \
+   lasts as long as a vessel is not stopped."
+
+let fluent_kinds scheme =
+  let explain text = match scheme with Chain_of_thought -> text ^ "\n\n" | Few_shot -> "" in
+  let b = Buffer.create 4096 in
+  let add s = Buffer.add_string b s in
+  add
+    "There are two ways in which a composite activity may be defined in the \
+     language of RTEC. In the first case, a composite activity definition \
+     may be specified by means of rules with initiatedAt(F=V,T) or \
+     terminatedAt(F=V,T) in their head. This is called a simple fluent \
+     definition.\n\n\
+     The first body literal of an initiatedAt(F=V,T) rule is a positive \
+     happensAt predicate; this is followed by a possibly empty set of \
+     positive/negative happensAt and holdsAt predicates. Negative \
+     predicates are prefixed with 'not' which expresses \
+     negation-by-failure. Below you may find an example of a composite \
+     activity definition expressed as a simple fluent.\n\n\
+     Example 1: Given a composite maritime activity description, provide \
+     the rules in the language of RTEC. ";
+  add within_area_nl;
+  add "\n\n";
+  add
+    (explain
+       "Answer: The activity 'withinArea' is expressed as a simple fluent. \
+        This activity starts when a vessel enters an area of interest. We \
+        use an 'initiatedAt' rule to express this initiation condition. The \
+        output is a boolean fluent named 'withinArea' with two arguments, \
+        i.e. 'Vessel' and 'AreaType'. We use one input event named \
+        'entersArea' with two arguments 'Vessel' and 'Area' and one \
+        background predicate named 'areaType' with two arguments 'Area' and \
+        'AreaType'. This rule in the language of RTEC is the following:");
+  add (List.nth within_area_rules 0);
+  add "\n\n";
+  add
+    (explain
+       "The activity 'withinArea' ends when a vessel leaves the area that \
+        it had entered. We use a 'terminatedAt' rule to describe this \
+        termination condition. This rule in the language of RTEC is:");
+  add (List.nth within_area_rules 1);
+  add "\n\n";
+  add
+    (explain
+       "The activity 'withinArea' ends when a communication gap starts. We \
+        use a 'terminatedAt' rule to express this termination condition, \
+        with the input event 'gap_start'. This rule in the language of RTEC \
+        is:");
+  add (List.nth within_area_rules 2);
+  add "\n\n";
+  add
+    "A composite activity definition may also be specified by means of one \
+     rule with holdsFor(F=V, I) in its head. The body of such a rule may \
+     include holdsFor(F'=V', I') conditions, where F'=V' is different from \
+     F=V, as well as the interval manipulation constructs of RTEC, i.e. \
+     union_all, intersect_all, and relative_complement_all. A rule with \
+     holdsFor(F=V, I) in the head is called a statically determined fluent \
+     definition. Below you may find an example of a composite maritime \
+     activity expressed as a statically determined fluent.\n\n\
+     Example 2: Given a composite maritime activity description, provide \
+     the rules in the language of RTEC. ";
+  add under_way_nl;
+  add "\n\n";
+  add
+    (explain
+       "Answer: The activity 'underWay' is expressed as a statically \
+        determined fluent. Rules with 'holdsFor' in the head specify the \
+        conditions in which a fluent holds. We express 'underWay' as the \
+        disjunction of the three values of 'movingSpeed', i.e. 'below', \
+        'normal' and 'above'. Disjunction in 'holdsFor' rules is expressed \
+        by means of 'union_all'. This rule is expressed in the language of \
+        RTEC as follows:");
+  add under_way_rule;
+  Buffer.contents b
+
+let default_domain = Maritime.Domain_def.domain
+
+let events_and_fluents ?(domain = default_domain) () =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "You may use the following input events:\n\n";
+  List.iteri
+    (fun i (it : Domain.item) ->
+      Buffer.add_string b
+        (Printf.sprintf "Input Event %d: %s/%d\nMeaning: %s\n\n" (i + 1) it.name it.arity
+           it.meaning))
+    domain.Domain.input_events;
+  Buffer.add_string b
+    "You may also use the following input statically determined fluents, \
+     whose maximal intervals are computed by preprocessing:\n\n";
+  List.iteri
+    (fun i (it : Domain.item) ->
+      Buffer.add_string b
+        (Printf.sprintf "Input Fluent %d: %s/%d\nMeaning: %s\n\n" (i + 1) it.name it.arity
+           it.meaning))
+    domain.Domain.input_fluents;
+  Buffer.add_string b
+    "Background knowledge is available through the atemporal predicates:\n\n";
+  List.iter
+    (fun (it : Domain.item) ->
+      Buffer.add_string b (Printf.sprintf "%s/%d: %s\n" it.name it.arity it.meaning))
+    domain.Domain.background;
+  Buffer.contents b
+
+let thresholds ?(domain = default_domain) () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "You may use a predicate named 'thresholds' with two arguments. The \
+     first argument refers to the threshold type and the second one to the \
+     threshold value. Threshold values can be used to perform mathematical \
+     operations and comparisons.\n\n";
+  List.iteri
+    (fun i (t : Domain.threshold) ->
+      Buffer.add_string b
+        (Printf.sprintf "Threshold %d: thresholds(%s, %s)\nMeaning: %s\n\n" (i + 1) t.id
+           (String.capitalize_ascii t.id) t.meaning))
+    domain.Domain.thresholds;
+  Buffer.contents b
+
+let generation ~activity ~description =
+  Printf.sprintf
+    "Given a composite maritime activity description, provide the rules in \
+     RTEC formalization. You may use any of the aforementioned input events \
+     and fluents, and threshold values. You may use any of the output \
+     fluents that you have already learned.\n\n\
+     Maritime Composite Activity Description - %s: %s"
+    activity description
+
+(* For a non-maritime domain, prompt F is rebuilt from the domain's own
+   gold examples: the first simple-fluent entry and the first statically
+   determined entry (Section 6: prompts F/E/T are customised per domain,
+   prompt R is reused as-is). *)
+let generic_fluent_kinds domain scheme =
+  let kind_of (e : Domain.entry) =
+    match Rtec.Ast.kind_of_rule (List.hd (Domain.definition domain e.name).rules) with
+    | Some (Rtec.Ast.Initiated _ | Rtec.Ast.Terminated _) -> `Simple
+    | Some (Rtec.Ast.Holds_for _) -> `Sd
+    | None -> `Sd
+  in
+  let first k =
+    List.find (fun e -> kind_of e = k) domain.Domain.entries
+  in
+  let simple = first `Simple and sd = first `Sd in
+  let explain text =
+    match scheme with Chain_of_thought -> text ^ "\n\n" | Few_shot -> ""
+  in
+  let example (e : Domain.entry) what =
+    "Example: Given a composite activity description, provide the rules in \
+     the language of RTEC. Composite Activity Description: '" ^ e.name ^ "'. "
+    ^ e.nl ^ "\n\n"
+    ^ explain
+        (Printf.sprintf
+           "Answer: The activity '%s' is expressed as a %s fluent. The rules \
+            in the language of RTEC are the following:"
+           e.name what)
+    ^ String.trim e.source
+  in
+  "There are two ways in which a composite activity may be defined in the \
+   language of RTEC: a simple fluent definition (rules with initiatedAt or \
+   terminatedAt in the head, the first body literal being a positive \
+   happensAt) and a statically determined fluent definition (one rule with \
+   holdsFor in the head, whose body combines holdsFor conditions with \
+   union_all, intersect_all and relative_complement_all).\n\n"
+  ^ example simple "simple"
+  ^ "\n\n"
+  ^ example sd "statically determined"
+
+let preamble ?(domain = default_domain) scheme =
+  let f =
+    if String.equal domain.Domain.domain_name "maritime" then fluent_kinds scheme
+    else generic_fluent_kinds domain scheme
+  in
+  [ rtec_syntax (); f; events_and_fluents ~domain (); thresholds ~domain () ]
+
+let extract_description prompt =
+  match String.index_opt prompt ':' with
+  | None -> None
+  | Some _ -> (
+    (* The description follows "Description - <name>: ". *)
+    let marker = "Maritime Composite Activity Description - " in
+    match
+      let len = String.length prompt and mlen = String.length marker in
+      let rec find i =
+        if i + mlen > len then None
+        else if String.sub prompt i mlen = marker then Some (i + mlen)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> None
+    | Some start -> (
+      match String.index_from_opt prompt start ':' with
+      | None -> None
+      | Some colon ->
+        Some (String.trim (String.sub prompt (colon + 1) (String.length prompt - colon - 1)))))

@@ -1,0 +1,46 @@
+(** The prompting pipeline of Section 3 (Figure 1).
+
+    A generation session sends, in order: prompt R (the syntax of RTEC),
+    prompt F* or F (simple vs. statically determined fluents, by few-shot
+    or chain-of-thought examples), prompt E (the input events and fluents),
+    prompt T (the threshold catalogue), and then one prompt G per composite
+    activity of interest. *)
+
+type scheme = Few_shot | Chain_of_thought
+
+val scheme_name : scheme -> string
+val scheme_symbol : scheme -> string
+(** ["\u{25A1}"] (few-shot) / ["\u{25B3}"] (chain-of-thought), the paper's
+    X-square / X-triangle notation. *)
+
+val corrected_symbol : scheme -> string
+(** Filled variants used after syntactic correction (X-filled-square /
+    X-filled-triangle). *)
+
+val rtec_syntax : unit -> string
+(** Prompt R, derived from Definitions 2.2 and 2.4. *)
+
+val fluent_kinds : scheme -> string
+(** Prompt F (chain-of-thought: examples with explanations) or F*
+    (few-shot: the same examples without the explanation steps). The
+    examples are the "withinArea" and "underWay" definitions, per the
+    paper. *)
+
+val default_domain : Domain.t
+(** The maritime domain — the paper's evaluation domain. *)
+
+val events_and_fluents : ?domain:Domain.t -> unit -> string
+(** Prompt E: every input event and input fluent with its meaning. *)
+
+val thresholds : ?domain:Domain.t -> unit -> string
+(** Prompt T: the threshold catalogue with meanings. *)
+
+val generation : activity:string -> description:string -> string
+(** Prompt G for one composite activity. *)
+
+val preamble : ?domain:Domain.t -> scheme -> string list
+(** Prompts R, F/F*, E, T in session order. *)
+
+val extract_description : string -> string option
+(** Recovers the activity description quoted inside a prompt-G text (used
+    by simulated backends to identify the requested activity). *)

@@ -1,0 +1,57 @@
+type generated_definition = {
+  activity : string;
+  raw : string;
+  parsed : (Rtec.Ast.definition, string) result;
+}
+
+type t = {
+  backend_label : string;
+  model : string;
+  scheme : Prompt.scheme;
+  transcript : (string * string) list;
+  definitions : generated_definition list;
+}
+
+let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t) =
+  let activities =
+    match activities with
+    | Some a -> a
+    | None -> List.map (fun (e : Domain.entry) -> e.name) domain.Domain.entries
+  in
+  let history = ref [] in
+  let ask prompt =
+    let reply = backend.complete ~history:(List.rev !history) ~prompt in
+    history := (prompt, reply) :: !history;
+    reply
+  in
+  List.iter (fun p -> ignore (ask p)) (Prompt.preamble ~domain backend.scheme);
+  let definitions =
+    List.map
+      (fun activity ->
+        let entry = Domain.entry domain activity in
+        let reply = ask (Prompt.generation ~activity ~description:entry.nl) in
+        let parsed =
+          match Rtec.Parser.parse_clauses_result reply with
+          | Ok rules -> Ok { Rtec.Ast.name = activity; rules }
+          | Error e -> Error e
+        in
+        { activity; raw = reply; parsed })
+      activities
+  in
+  {
+    backend_label = Backend.label backend;
+    model = backend.model;
+    scheme = backend.scheme;
+    transcript = List.rev !history;
+    definitions;
+  }
+
+let event_description t =
+  List.filter_map
+    (fun d -> match d.parsed with Ok def -> Some def | Error _ -> None)
+    t.definitions
+
+let parse_failures t =
+  List.filter_map
+    (fun d -> match d.parsed with Ok _ -> None | Error e -> Some (d.activity, e))
+    t.definitions

@@ -1,0 +1,29 @@
+(** A generation session (Figure 1): teach the backend the RTEC syntax,
+    the fluent kinds, the input vocabulary and the thresholds, then request
+    one composite activity formalisation per prompt G, accumulating the
+    conversation history so that later activities may reuse earlier ones
+    (the hierarchical knowledge base of Section 3.3). *)
+
+type generated_definition = {
+  activity : string;
+  raw : string;  (** the backend's verbatim reply *)
+  parsed : (Rtec.Ast.definition, string) result;
+}
+
+type t = {
+  backend_label : string;
+  model : string;
+  scheme : Prompt.scheme;
+  transcript : (string * string) list;  (** (prompt, reply) exchanges *)
+  definitions : generated_definition list;
+}
+
+val run : ?domain:Domain.t -> ?activities:string list -> Backend.t -> t
+(** Runs the full session. [domain] defaults to the maritime domain;
+    [activities] defaults to every gold entry, in hierarchy order. *)
+
+val event_description : t -> Rtec.Ast.t
+(** The successfully parsed definitions, as an event description. *)
+
+val parse_failures : t -> (string * string) list
+(** Activities whose reply did not parse, with the error message. *)

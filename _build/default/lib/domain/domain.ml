@@ -1,0 +1,55 @@
+type item = { name : string; arity : int; meaning : string }
+type threshold = { id : string; value : float; meaning : string }
+
+type entry = {
+  name : string;
+  code : string option;
+  nl : string;
+  source : string;
+}
+
+type t = {
+  domain_name : string;
+  input_events : item list;
+  input_fluents : item list;
+  background : item list;
+  thresholds : threshold list;
+  entries : entry list;
+  extra_constants : string list;
+  synonyms : (string * string) list;
+}
+
+let entry t name = List.find (fun e -> String.equal e.name name) t.entries
+let definition t name = Rtec.Parser.parse_definition ~name (entry t name).source
+
+let event_description t =
+  List.map (fun e -> Rtec.Parser.parse_definition ~name:e.name e.source) t.entries
+
+let reported t = List.filter (fun e -> e.code <> None) t.entries
+
+let known_names t =
+  List.map (fun (i : item) -> i.name) t.input_events
+  @ List.map (fun (i : item) -> i.name) t.input_fluents
+  @ List.map (fun (i : item) -> i.name) t.background
+  @ List.map (fun (th : threshold) -> th.id) t.thresholds
+  @ t.extra_constants
+  @ List.map (fun (e : entry) -> e.name) t.entries
+
+let check_vocabulary t =
+  let indicator (i : item) = (i.name, i.arity) in
+  {
+    Rtec.Check.input_events = List.map indicator t.input_events;
+    input_fluents = List.map indicator t.input_fluents;
+    background = List.map indicator t.background;
+  }
+
+let threshold_facts t =
+  List.map
+    (fun th -> Rtec.Term.app "thresholds" [ Rtec.Term.Atom th.id; Rtec.Term.Real th.value ])
+    t.thresholds
+
+let variant_of t name =
+  List.find_opt (fun (c, _) -> String.equal c name) t.synonyms |> Option.map snd
+
+let canonical_of t name =
+  List.find_opt (fun (_, v) -> String.equal v name) t.synonyms |> Option.map fst

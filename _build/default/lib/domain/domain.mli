@@ -1,0 +1,55 @@
+(** Application domains.
+
+    Section 6 of the paper notes that the approach transfers to other
+    domains: prompt R (the RTEC syntax) is reused as-is, while prompts F,
+    E and T are customised with domain knowledge. A [Domain.t] packages
+    exactly that domain knowledge: the input vocabulary, the threshold
+    catalogue, the gold-standard activity definitions with their
+    natural-language descriptions, and the naming lexicon used by the
+    error models and the syntactic corrector. *)
+
+type item = { name : string; arity : int; meaning : string }
+(** An input event, input fluent or background predicate. *)
+
+type threshold = { id : string; value : float; meaning : string }
+
+type entry = {
+  name : string;  (** fluent name of the activity *)
+  code : string option;  (** short label when the activity is reported in a figure *)
+  nl : string;  (** natural-language description — the prompt-G input *)
+  source : string;  (** hand-crafted rules in concrete RTEC syntax *)
+}
+
+type t = {
+  domain_name : string;
+  input_events : item list;
+  input_fluents : item list;
+  background : item list;
+  thresholds : threshold list;
+  entries : entry list;  (** bottom-up: definitions may use earlier ones *)
+  extra_constants : string list;
+      (** domain constants beyond the vocabulary items (area types, fluent
+          values, ...) *)
+  synonyms : (string * string) list;
+      (** [(canonical, variant)] plausible alternative names an LLM picks;
+          known to the corrector *)
+}
+
+val entry : t -> string -> entry
+(** Raises [Not_found]. *)
+
+val definition : t -> string -> Rtec.Ast.definition
+(** Parsed rules of one entry. *)
+
+val event_description : t -> Rtec.Ast.t
+val reported : t -> entry list
+(** Entries with a figure code, in entry order. *)
+
+val known_names : t -> string list
+(** Every identifier of the domain: vocabulary, thresholds, constants and
+    activity names. *)
+
+val check_vocabulary : t -> Rtec.Check.vocabulary
+val threshold_facts : t -> Rtec.Term.t list
+val variant_of : t -> string -> string option
+val canonical_of : t -> string -> string option

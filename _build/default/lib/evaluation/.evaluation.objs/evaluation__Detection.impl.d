@@ -1,0 +1,1 @@
+lib/evaluation/detection.ml: List Maritime Option Rtec

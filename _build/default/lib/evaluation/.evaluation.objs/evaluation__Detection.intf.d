@@ -1,0 +1,1 @@
+lib/evaluation/detection.mli: Maritime Rtec

@@ -1,0 +1,1 @@
+lib/evaluation/experiments.ml: Adg Detection Float List Maritime Metrics Rtec Similarity String

@@ -1,0 +1,1 @@
+lib/evaluation/experiments.mli: Adg Maritime Rtec

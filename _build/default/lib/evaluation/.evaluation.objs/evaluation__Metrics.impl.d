@@ -1,0 +1,1 @@
+lib/evaluation/metrics.ml: List Map Option Rtec

@@ -1,0 +1,1 @@
+lib/evaluation/report.ml: Experiments Format List Maritime Printf String

@@ -1,0 +1,20 @@
+(** Composite-activity detection over the synthetic AIS stream: runs an
+    event description through the windowed engine and extracts the
+    recognised instances of the reported activities. *)
+
+type activity = { name : string; code : string; indicator : string * int }
+
+val reported : activity list
+(** The 8 activities of Figure 2, with their fluent indicators. *)
+
+val detect :
+  ?window:int ->
+  ?step:int ->
+  event_description:Rtec.Ast.t ->
+  dataset:Maritime.Dataset.t ->
+  unit ->
+  (Rtec.Engine.result, string) result
+(** Windowed recognition (defaults: one-hour window, half-hour step). *)
+
+val instances :
+  Rtec.Engine.result -> activity -> (Rtec.Engine.fvp * Rtec.Interval.t) list

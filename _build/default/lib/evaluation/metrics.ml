@@ -1,0 +1,55 @@
+type confusion = { tp : int; fp : int; fn : int }
+
+let zero = { tp = 0; fp = 0; fn = 0 }
+let add a b = { tp = a.tp + b.tp; fp = a.fp + b.fp; fn = a.fn + b.fn }
+
+let precision c =
+  if c.tp + c.fp = 0 then if c.fn = 0 then 1. else 0.
+  else float_of_int c.tp /. float_of_int (c.tp + c.fp)
+
+let recall c =
+  if c.tp + c.fn = 0 then if c.fp = 0 then 1. else 0.
+  else float_of_int c.tp /. float_of_int (c.tp + c.fn)
+
+let f1 c =
+  if c.tp = 0 && c.fp = 0 && c.fn = 0 then 1.
+  else
+    let denom = (2 * c.tp) + c.fp + c.fn in
+    if denom = 0 then 0. else float_of_int (2 * c.tp) /. float_of_int denom
+
+module FvpMap = Map.Make (struct
+  type t = Rtec.Engine.fvp
+
+  let compare (f1, v1) (f2, v2) =
+    let c = Rtec.Term.compare f1 f2 in
+    if c <> 0 then c else Rtec.Term.compare v1 v2
+end)
+
+let finite_duration spans =
+  (* Open intervals do not occur in windowed results, but clamp anyway. *)
+  Rtec.Interval.duration (Rtec.Interval.clamp 0 (Rtec.Interval.infinity - 1) spans)
+
+let compare_activity ~predicted ~reference ~indicator =
+  let collect result =
+    List.fold_left
+      (fun acc (fv, spans) -> FvpMap.add fv spans acc)
+      FvpMap.empty
+      (Rtec.Engine.find_fluent result indicator)
+  in
+  let p = collect predicted and r = collect reference in
+  let all_keys =
+    FvpMap.fold (fun k _ acc -> FvpMap.add k () acc) p FvpMap.empty
+    |> FvpMap.fold (fun k _ acc -> FvpMap.add k () acc) r
+  in
+  FvpMap.fold
+    (fun fv () acc ->
+      let ps = Option.value ~default:Rtec.Interval.empty (FvpMap.find_opt fv p) in
+      let rs = Option.value ~default:Rtec.Interval.empty (FvpMap.find_opt fv r) in
+      let inter = Rtec.Interval.inter ps rs in
+      add acc
+        {
+          tp = finite_duration inter;
+          fp = finite_duration (Rtec.Interval.diff ps rs);
+          fn = finite_duration (Rtec.Interval.diff rs ps);
+        })
+    all_keys zero

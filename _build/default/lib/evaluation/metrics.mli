@@ -1,0 +1,24 @@
+(** Time-point predictive accuracy (Section 5.2, "Performance on CER").
+
+    For one activity, the time-points (seconds) at which it is recognised
+    by both the evaluated and the reference event description are true
+    positives; time-points recognised only by the evaluated (reference)
+    description are false positives (negatives). *)
+
+type confusion = { tp : int; fp : int; fn : int }
+
+val zero : confusion
+val add : confusion -> confusion -> confusion
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float
+(** Conventions: a perfectly empty comparison (no positives anywhere)
+    counts as agreement, i.e. f1 = 1. *)
+
+val compare_activity :
+  predicted:Rtec.Engine.result ->
+  reference:Rtec.Engine.result ->
+  indicator:string * int ->
+  confusion
+(** Sums interval overlaps/differences over every ground FVP instance of
+    the activity appearing in either result. *)

@@ -1,0 +1,111 @@
+let code_of_name name =
+  match (Maritime.Gold.entry name).code with Some c -> c | None -> name
+
+let find_activity_value per_activity code =
+  (* [per_activity] is keyed by activity name; figures report codes. *)
+  List.find_map
+    (fun (name, v) ->
+      match (Maritime.Gold.entry name).code with
+      | Some c when String.equal c code -> Some v
+      | _ -> None)
+    per_activity
+
+let print_matrix ppf ~title ~columns ~rows ~cell =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "%-6s" "";
+  List.iter (fun c -> Format.fprintf ppf "%14s" c) columns;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-6s" row;
+      List.iteri (fun i _ -> Format.fprintf ppf "%14s" (cell ~row ~col:i)) columns;
+      Format.fprintf ppf "@.")
+    rows
+
+let similarity_matrix ppf ~title series =
+  (* [series]: (label, per_activity keyed by name, average). *)
+  let columns = List.map (fun (label, _, _) -> label) series in
+  let rows = Experiments.activity_codes @ [ "all" ] in
+  let cell ~row ~col =
+    let _, per_activity, avg = List.nth series col in
+    let v =
+      if String.equal row "all" then Some avg else find_activity_value per_activity row
+    in
+    match v with Some v -> Printf.sprintf "%.3f" v | None -> "-"
+  in
+  print_matrix ppf ~title ~columns ~rows ~cell;
+  ignore code_of_name
+
+let figure_2a ppf generations =
+  similarity_matrix ppf
+    ~title:
+      "Figure 2a: similarity of LLM-generated definitions vs. the \
+       hand-crafted event description (best prompting scheme per model)"
+    (List.map (fun (g : Experiments.generation) -> (g.label, g.per_activity, g.average))
+       generations)
+
+let figure_2b ppf corrected =
+  similarity_matrix ppf
+    ~title:"Figure 2b: similarities after minimal syntactic changes"
+    (List.map
+       (fun (c : Experiments.corrected) ->
+         (c.corrected_label, c.corrected_per_activity, c.corrected_average))
+       corrected)
+
+let figure_2c ppf rows =
+  let columns = List.map (fun (r : Experiments.accuracy_row) -> r.label) rows in
+  let codes = Experiments.activity_codes in
+  let cell ~row ~col =
+    let r = List.nth rows col in
+    match List.assoc_opt row r.per_activity_f1 with
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "-"
+  in
+  print_matrix ppf
+    ~title:
+      "Figure 2c: predictive accuracy (time-point f1) of corrected event \
+       descriptions on the AIS stream"
+    ~columns ~rows:codes ~cell
+
+let scheme_table ppf generations =
+  Format.fprintf ppf
+    "Prompting-scheme sensitivity (average similarity; the best scheme per \
+     model is the one reported in Figure 2a)@.";
+  Format.fprintf ppf "  %-10s %12s %18s@." "" "few-shot" "chain-of-thought";
+  List.iter
+    (fun (model, few, cot) -> Format.fprintf ppf "  %-10s %12.3f %18.3f@." model few cot)
+    (Experiments.scheme_comparison generations)
+
+let ablations ppf best =
+  Format.fprintf ppf
+    "Ablation: zero-shot prompting (average similarity; excluded from the \
+     paper's pipeline for producing poor results)@.";
+  List.iter
+    (fun (model, avg) -> Format.fprintf ppf "  %-10s %.3f@." model avg)
+    (Experiments.zero_shot_ablation ());
+  Format.fprintf ppf "@.";
+  Format.fprintf ppf
+    "Ablation: Kuhn-Munkres vs. greedy mapping in the similarity metric \
+     (average similarity)@.";
+  Format.fprintf ppf "  %-12s %12s %12s@." "" "hungarian" "greedy";
+  List.iter
+    (fun (label, hungarian, greedy) ->
+      Format.fprintf ppf "  %-12s %12.3f %12.3f@." label hungarian greedy)
+    (Experiments.assignment_ablation best)
+
+let print_all ?dataset ?window ?step ppf () =
+  let generations = Experiments.generate_all () in
+  let best = Experiments.best_per_model generations in
+  figure_2a ppf best;
+  Format.fprintf ppf "@.";
+  scheme_table ppf generations;
+  Format.fprintf ppf "@.";
+  let corrected = Experiments.correct_top best in
+  figure_2b ppf corrected;
+  Format.fprintf ppf "@.";
+  let dataset = match dataset with Some d -> d | None -> Maritime.Dataset.generate () in
+  (match Experiments.predictive_accuracy ?window ?step ~dataset corrected with
+  | Error e -> Format.fprintf ppf "figure 2c failed: %s@." e
+  | Ok rows -> figure_2c ppf rows);
+  Format.fprintf ppf "@.";
+  ablations ppf best

@@ -1,0 +1,19 @@
+(** Plain-text rendering of the figure reproductions: one row per
+    activity code (plus 'all'), one column per model series, matching the
+    bar groups of Figure 2. *)
+
+val figure_2a : Format.formatter -> Experiments.generation list -> unit
+val figure_2b : Format.formatter -> Experiments.corrected list -> unit
+val figure_2c : Format.formatter -> Experiments.accuracy_row list -> unit
+
+val print_all :
+  ?dataset:Maritime.Dataset.t -> ?window:int -> ?step:int -> Format.formatter -> unit -> unit
+(** Runs the full pipeline (12 generations, best-of selection, correction,
+    recognition) and prints the three figures. *)
+
+val scheme_table : Format.formatter -> Experiments.generation list -> unit
+(** Few-shot vs. chain-of-thought average similarity per model. *)
+
+val ablations : Format.formatter -> Experiments.generation list -> unit
+(** Prints the zero-shot and greedy-assignment ablation tables for the
+    given (best-per-model) generations. *)

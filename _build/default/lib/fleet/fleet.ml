@@ -1,0 +1,352 @@
+let input_events =
+  [
+    { Domain.name = "stop_enter"; arity = 3;
+      meaning =
+        "'Vehicle' entered the bus stop 'Stop'; the third argument reports \
+         the timeliness of the visit: early, onTime or late." };
+    { Domain.name = "stop_leave"; arity = 3;
+      meaning =
+        "'Vehicle' left the bus stop 'Stop'; the third argument reports the \
+         timeliness of the departure: early, onTime or late." };
+    { Domain.name = "abrupt_acceleration"; arity = 1;
+      meaning = "'Vehicle' accelerated abruptly." };
+    { Domain.name = "abrupt_deceleration"; arity = 1;
+      meaning = "'Vehicle' decelerated abruptly." };
+    { Domain.name = "sharp_turn"; arity = 1; meaning = "'Vehicle' made a sharp turn." };
+    { Domain.name = "speed"; arity = 2;
+      meaning = "A periodic sample of the speed (km/h) of 'Vehicle'." };
+    { Domain.name = "noise_level"; arity = 2;
+      meaning = "The cabin noise of 'Vehicle' was measured as low or high." };
+    { Domain.name = "temperature"; arity = 2;
+      meaning = "The cabin temperature (Celsius) of 'Vehicle'." };
+    { Domain.name = "passenger_density"; arity = 2;
+      meaning = "The passenger density of 'Vehicle' was measured as low, normal or high." };
+    { Domain.name = "route_start"; arity = 2;
+      meaning = "'Vehicle' started serving the route 'Route'." };
+    { Domain.name = "route_end"; arity = 2;
+      meaning = "'Vehicle' finished serving the route 'Route'." };
+  ]
+
+let background =
+  [
+    { Domain.name = "thresholds"; arity = 2;
+      meaning = "The threshold with the given identifier has the given value." };
+  ]
+
+let thresholds =
+  [
+    { Domain.id = "speedLimit"; value = 50.0;
+      meaning = "The maximum speed (km/h) a bus may reach inside the city." };
+    { Domain.id = "tempMin"; value = 18.0;
+      meaning = "The minimum comfortable cabin temperature (Celsius)." };
+    { Domain.id = "tempMax"; value = 26.0;
+      meaning = "The maximum comfortable cabin temperature (Celsius)." };
+  ]
+
+let entries =
+  [
+    {
+      Domain.name = "punctuality";
+      code = Some "pu";
+      nl =
+        "A vehicle is punctual when it enters a stop early or on time. It \
+         becomes non-punctual when it enters a stop late or leaves a stop \
+         early. Punctuality stops being assessed when the vehicle finishes \
+         its route.";
+      source =
+        {|
+initiatedAt(punctuality(Vehicle)=punctual, T) :-
+    happensAt(stop_enter(Vehicle, Stop, onTime), T).
+initiatedAt(punctuality(Vehicle)=punctual, T) :-
+    happensAt(stop_enter(Vehicle, Stop, early), T).
+initiatedAt(punctuality(Vehicle)=nonPunctual, T) :-
+    happensAt(stop_enter(Vehicle, Stop, late), T).
+initiatedAt(punctuality(Vehicle)=nonPunctual, T) :-
+    happensAt(stop_leave(Vehicle, Stop, early), T).
+terminatedAt(punctuality(Vehicle)=punctual, T) :-
+    happensAt(route_end(Vehicle, Route), T).
+terminatedAt(punctuality(Vehicle)=nonPunctual, T) :-
+    happensAt(route_end(Vehicle, Route), T).
+|};
+    };
+    {
+      Domain.name = "drivingStyle";
+      code = None;
+      nl =
+        "The driving style of a vehicle becomes unsafe when the vehicle \
+         makes a sharp turn, and uncomfortable when it accelerates or \
+         decelerates abruptly. A driving-style episode ends when the \
+         vehicle enters a stop.";
+      source =
+        {|
+initiatedAt(drivingStyle(Vehicle)=unsafe, T) :-
+    happensAt(sharp_turn(Vehicle), T).
+initiatedAt(drivingStyle(Vehicle)=uncomfortable, T) :-
+    happensAt(abrupt_acceleration(Vehicle), T).
+initiatedAt(drivingStyle(Vehicle)=uncomfortable, T) :-
+    happensAt(abrupt_deceleration(Vehicle), T).
+terminatedAt(drivingStyle(Vehicle)=unsafe, T) :-
+    happensAt(stop_enter(Vehicle, Stop, Timeliness), T).
+terminatedAt(drivingStyle(Vehicle)=uncomfortable, T) :-
+    happensAt(stop_enter(Vehicle, Stop, Timeliness), T).
+|};
+    };
+    {
+      Domain.name = "speeding";
+      code = Some "sp";
+      nl =
+        "A vehicle is speeding while its sampled speed exceeds the city \
+         speed limit. Speeding ends when a sample at or below the limit \
+         arrives.";
+      source =
+        {|
+initiatedAt(speeding(Vehicle)=true, T) :-
+    happensAt(speed(Vehicle, Speed), T),
+    thresholds(speedLimit, SpeedLimit),
+    Speed > SpeedLimit.
+terminatedAt(speeding(Vehicle)=true, T) :-
+    happensAt(speed(Vehicle, Speed), T),
+    thresholds(speedLimit, SpeedLimit),
+    Speed =< SpeedLimit.
+|};
+    };
+    {
+      Domain.name = "uncomfortableTemperature";
+      code = None;
+      nl =
+        "The cabin temperature of a vehicle is uncomfortable while it is \
+         below the minimum or above the maximum comfortable temperature. \
+         The activity ends when a measurement within the comfortable range \
+         arrives.";
+      source =
+        {|
+initiatedAt(uncomfortableTemperature(Vehicle)=true, T) :-
+    happensAt(temperature(Vehicle, Value), T),
+    thresholds(tempMin, TempMin),
+    Value < TempMin.
+initiatedAt(uncomfortableTemperature(Vehicle)=true, T) :-
+    happensAt(temperature(Vehicle, Value), T),
+    thresholds(tempMax, TempMax),
+    Value > TempMax.
+terminatedAt(uncomfortableTemperature(Vehicle)=true, T) :-
+    happensAt(temperature(Vehicle, Value), T),
+    thresholds(tempMin, TempMin),
+    Value >= TempMin,
+    thresholds(tempMax, TempMax),
+    Value =< TempMax.
+|};
+    };
+    {
+      Domain.name = "highNoise";
+      code = None;
+      nl =
+        "The cabin of a vehicle is noisy while the measured noise level is \
+         high; the activity ends when a low measurement arrives.";
+      source =
+        {|
+initiatedAt(highNoise(Vehicle)=true, T) :-
+    happensAt(noise_level(Vehicle, high), T).
+terminatedAt(highNoise(Vehicle)=true, T) :-
+    happensAt(noise_level(Vehicle, low), T).
+|};
+    };
+    {
+      Domain.name = "crowded";
+      code = None;
+      nl =
+        "A vehicle is crowded while the measured passenger density is high; \
+         the activity ends when the density drops to normal or low.";
+      source =
+        {|
+initiatedAt(crowded(Vehicle)=true, T) :-
+    happensAt(passenger_density(Vehicle, high), T).
+terminatedAt(crowded(Vehicle)=true, T) :-
+    happensAt(passenger_density(Vehicle, normal), T).
+terminatedAt(crowded(Vehicle)=true, T) :-
+    happensAt(passenger_density(Vehicle, low), T).
+|};
+    };
+    {
+      Domain.name = "drivingQuality";
+      code = Some "dq";
+      nl =
+        "The driving quality of a vehicle is high while the vehicle is \
+         punctual and its driving style is neither unsafe nor \
+         uncomfortable. The driving quality is low while the vehicle is \
+         non-punctual or its driving style is unsafe.";
+      source =
+        {|
+holdsFor(drivingQuality(Vehicle)=high, I) :-
+    holdsFor(punctuality(Vehicle)=punctual, Ip),
+    holdsFor(drivingStyle(Vehicle)=unsafe, Iu),
+    holdsFor(drivingStyle(Vehicle)=uncomfortable, Ic),
+    relative_complement_all(Ip, [Iu, Ic], I).
+holdsFor(drivingQuality(Vehicle)=low, I) :-
+    holdsFor(punctuality(Vehicle)=nonPunctual, In),
+    holdsFor(drivingStyle(Vehicle)=unsafe, Iu),
+    union_all([In, Iu], I).
+|};
+    };
+    {
+      Domain.name = "passengerComfort";
+      code = Some "pc";
+      nl =
+        "The comfort of the passengers of a vehicle is reducing while the \
+         driving style is uncomfortable, or the cabin is noisy, or the \
+         cabin temperature is uncomfortable, or the vehicle is crowded.";
+      source =
+        {|
+holdsFor(passengerComfort(Vehicle)=reducing, I) :-
+    holdsFor(drivingStyle(Vehicle)=uncomfortable, I1),
+    holdsFor(highNoise(Vehicle)=true, I2),
+    holdsFor(uncomfortableTemperature(Vehicle)=true, I3),
+    holdsFor(crowded(Vehicle)=true, I4),
+    union_all([I1, I2, I3, I4], I).
+|};
+    };
+    {
+      Domain.name = "passengerSafety";
+      code = Some "ps";
+      nl =
+        "The safety of the passengers of a vehicle is reducing while the \
+         vehicle is speeding while crowded, or while the driving style is \
+         unsafe.";
+      source =
+        {|
+holdsFor(passengerSafety(Vehicle)=reducing, I) :-
+    holdsFor(speeding(Vehicle)=true, Is),
+    holdsFor(crowded(Vehicle)=true, Ic),
+    intersect_all([Is, Ic], Isc),
+    holdsFor(drivingStyle(Vehicle)=unsafe, Iu),
+    union_all([Isc, Iu], I).
+|};
+    };
+    {
+      Domain.name = "recklessDriving";
+      code = Some "rd";
+      nl =
+        "A vehicle is driven recklessly while it is speeding and its \
+         driving style is unsafe at the same time.";
+      source =
+        {|
+holdsFor(recklessDriving(Vehicle)=true, I) :-
+    holdsFor(speeding(Vehicle)=true, Is),
+    holdsFor(drivingStyle(Vehicle)=unsafe, Iu),
+    intersect_all([Is, Iu], I).
+|};
+    };
+  ]
+
+let synonyms =
+  [
+    ("stop_enter", "enterStop");
+    ("stop_leave", "leaveStop");
+    ("abrupt_acceleration", "abruptAccel");
+    ("abrupt_deceleration", "abruptBraking");
+    ("sharp_turn", "sharpTurn");
+    ("noise_level", "noiseLevel");
+    ("passenger_density", "passengerDensity");
+    ("route_start", "routeStart");
+    ("route_end", "routeEnd");
+    ("speedLimit", "maxSpeed");
+    ("tempMin", "minTemperature");
+    ("tempMax", "maxTemperature");
+    ("punctuality", "timeliness");
+    ("drivingStyle", "drivingMode");
+    ("crowded", "overcrowded");
+    ("speeding", "overSpeed");
+    ("onTime", "on_time");
+    ("nonPunctual", "notPunctual");
+  ]
+
+let domain =
+  {
+    Domain.domain_name = "fleet";
+    input_events;
+    input_fluents = [];
+    background;
+    thresholds;
+    entries;
+    extra_constants =
+      [ "true"; "early"; "onTime"; "late"; "low"; "normal"; "high"; "punctual";
+        "nonPunctual"; "unsafe"; "uncomfortable"; "reducing" ];
+    synonyms;
+  }
+
+(* --- synthetic telemetry --- *)
+
+type config = { seed : int; buses : int; hours : int }
+
+let default_config = { seed = 42; buses = 6; hours = 4 }
+
+type persona = Good | Aggressive | Degraded
+
+let generate ?(config = default_config) () =
+  let events = ref [] in
+  let ev t name args = events := { Rtec.Stream.time = t; term = Rtec.Term.app name args } :: !events in
+  let rng = ref (config.seed land 0x3FFFFFFF) in
+  let rand bound =
+    (* Small deterministic LCG, as in the maritime scenarios. *)
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng mod bound
+  in
+  let horizon = config.hours * 3600 in
+  let bus index =
+    let persona = match index mod 3 with 0 -> Good | 1 -> Aggressive | _ -> Degraded in
+    let id = Rtec.Term.Atom (Printf.sprintf "bus%d" index) in
+    let route = Rtec.Term.Atom (Printf.sprintf "route%d" (index mod 3)) in
+    let t0 = 300 + (index * 450) in
+    ev t0 "route_start" [ id; route ];
+    let stop_interval = 420 in
+    let stops = (horizon - t0 - 600) / stop_interval in
+    for s = 0 to stops - 1 do
+      let t = t0 + 60 + (s * stop_interval) in
+      let stop = Rtec.Term.Atom (Printf.sprintf "stop%d" (s mod 12)) in
+      let timeliness =
+        match persona with
+        | Good -> if rand 10 < 9 then "onTime" else "early"
+        | Aggressive -> if rand 10 < 6 then "onTime" else "early"
+        | Degraded -> if rand 10 < 7 then "late" else "onTime"
+      in
+      ev t "stop_enter" [ id; stop; Rtec.Term.Atom timeliness ];
+      ev (t + 60) "stop_leave" [ id; stop; Rtec.Term.Atom "onTime" ];
+      (* Between stops: driving events and speed samples. *)
+      let mid = t + 120 + rand 120 in
+      (match persona with
+      | Good -> ()
+      | Aggressive ->
+        ev mid "sharp_turn" [ id ];
+        if rand 10 < 5 then ev (mid + 45) "abrupt_acceleration" [ id ]
+      | Degraded -> if rand 10 < 4 then ev mid "abrupt_deceleration" [ id ]);
+      let sampled_speed =
+        match persona with
+        | Aggressive -> 45 + rand 20 (* often above the 50 km/h limit *)
+        | Good | Degraded -> 25 + rand 20
+      in
+      ev (mid + 30) "speed" [ id; Rtec.Term.Real (float_of_int sampled_speed) ];
+      ev (t + stop_interval - 60) "speed" [ id; Rtec.Term.Real (float_of_int (20 + rand 15)) ]
+    done;
+    (* Cabin sensors every ten minutes. *)
+    let rec cabin t =
+      if t < horizon - 600 then begin
+        let temp, noise, density =
+          match persona with
+          | Good -> (20 + rand 4, "low", "normal")
+          | Aggressive -> (21 + rand 3, "low", if rand 10 < 3 then "high" else "normal")
+          | Degraded -> (26 + rand 5, (if rand 10 < 6 then "high" else "low"), "high")
+        in
+        ev t "temperature" [ id; Rtec.Term.Real (float_of_int temp) ];
+        ev (t + 20) "noise_level" [ id; Rtec.Term.Atom noise ];
+        ev (t + 40) "passenger_density" [ id; Rtec.Term.Atom density ];
+        cabin (t + 600)
+      end
+    in
+    cabin (t0 + 120);
+    ev (t0 + 60 + (stops * stop_interval)) "route_end" [ id; route ]
+  in
+  for i = 0 to config.buses - 1 do
+    bus i
+  done;
+  let stream = Rtec.Stream.make !events in
+  let knowledge = Rtec.Knowledge.of_list (Domain.threshold_facts domain) in
+  (stream, knowledge)

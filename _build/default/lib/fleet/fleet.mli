@@ -1,0 +1,25 @@
+(** Vehicle fleet management — the second application domain sketched in
+    the paper's further work (Section 6): "prompt R may be re-used as it
+    is, while the prompts F, E, and T may be customised with
+    domain-specific knowledge". The domain follows the city transport
+    management use case of the Event Calculus fleet-management literature:
+    buses emit stop-visit, driving-event and cabin-sensor signals, and the
+    composite activities describe punctuality, driving quality, passenger
+    comfort and passenger safety. *)
+
+val domain : Domain.t
+(** The packaged domain: input events (stop_enter/stop_leave with
+    timeliness, abrupt_acceleration/abrupt_deceleration/sharp_turn, speed,
+    noise_level, temperature, passenger_density, route_start/route_end),
+    thresholds (speedLimit, tempMin, tempMax), ten gold activity
+    definitions and the naming lexicon. *)
+
+type config = { seed : int; buses : int; hours : int }
+
+val default_config : config
+
+val generate : ?config:config -> unit -> Rtec.Stream.t * Rtec.Knowledge.t
+(** A synthetic day of bus telemetry. Buses follow one of three personas:
+    punctual-and-smooth, aggressive (speeding, sharp turns), and degraded
+    (late, crowded, hot, noisy), so every composite activity of the domain
+    occurs in the stream. *)

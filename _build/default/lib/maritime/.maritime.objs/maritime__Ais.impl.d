@@ -1,0 +1,1 @@
+lib/maritime/ais.ml: Float Geography Hashtbl Int List Option Rtec String

@@ -1,0 +1,1 @@
+lib/maritime/ais.mli: Geography Rtec

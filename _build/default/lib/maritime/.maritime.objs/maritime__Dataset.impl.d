@@ -1,0 +1,1 @@
+lib/maritime/dataset.ml: Ais Geography Int List Printf Rtec Scenario String Vocabulary

@@ -1,0 +1,1 @@
+lib/maritime/dataset.mli: Ais Geography Rtec Scenario

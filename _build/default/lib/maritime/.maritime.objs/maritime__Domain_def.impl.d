@@ -1,0 +1,1 @@
+lib/maritime/domain_def.ml: Domain Gold List Vocabulary

@@ -1,0 +1,1 @@
+lib/maritime/domain_def.mli: Domain

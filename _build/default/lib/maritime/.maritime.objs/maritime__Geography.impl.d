@@ -1,0 +1,1 @@
+lib/maritime/geography.ml: List Rtec

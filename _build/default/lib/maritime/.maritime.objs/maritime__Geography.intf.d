@@ -1,0 +1,1 @@
+lib/maritime/geography.mli: Rtec

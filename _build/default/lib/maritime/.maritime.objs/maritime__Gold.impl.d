@@ -1,0 +1,1 @@
+lib/maritime/gold.ml: List Rtec String

@@ -1,0 +1,1 @@
+lib/maritime/gold.mli: Rtec

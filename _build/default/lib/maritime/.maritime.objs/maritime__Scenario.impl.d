@@ -1,0 +1,1 @@
+lib/maritime/scenario.ml: Ais Float Geography Int64 List

@@ -1,0 +1,1 @@
+lib/maritime/scenario.mli: Ais Geography

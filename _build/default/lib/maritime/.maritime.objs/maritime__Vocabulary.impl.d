@@ -1,0 +1,1 @@
+lib/maritime/vocabulary.ml: List Rtec String

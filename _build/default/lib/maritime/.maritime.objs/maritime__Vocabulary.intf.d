@@ -1,0 +1,1 @@
+lib/maritime/vocabulary.mli: Rtec

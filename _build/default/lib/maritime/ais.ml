@@ -1,0 +1,195 @@
+type message = {
+  t : int;
+  vessel : string;
+  x : float;
+  y : float;
+  speed : float;
+  heading : float;
+  cog : float;
+}
+
+type params = {
+  stop_max : float;
+  low_max : float;
+  gap_threshold : int;
+  speed_delta : float;
+  heading_delta : float;
+  proximity_max : float;
+}
+
+let default_params =
+  {
+    stop_max = 0.5;
+    low_max = 5.0;
+    gap_threshold = 1800;
+    speed_delta = 2.0;
+    heading_delta = 12.0;
+    proximity_max = 500.0;
+  }
+
+let knots_to_mps kn = kn *. 0.514444
+
+type speed_band = Idle | Slow | Fast
+
+let band p speed =
+  if speed < p.stop_max then Idle else if speed <= p.low_max then Slow else Fast
+
+let angle_diff a b =
+  let d = Float.abs (a -. b) in
+  let d = Float.rem d 360. in
+  if d > 180. then 360. -. d else d
+
+(* Events derived from one vessel's message sequence (sorted by time). *)
+let vessel_events p geography messages =
+  let events = ref [] in
+  let emit t term = events := { Rtec.Stream.time = t; term } :: !events in
+  let ev name args t = emit t (Rtec.Term.app name args) in
+  let vessel_atom v = Rtec.Term.Atom v in
+  let announce_state m =
+    (* Events describing the vessel's state from scratch: used on the first
+       message and after a communication gap. *)
+    let v = vessel_atom m.vessel in
+    List.iter
+      (fun (a : Geography.area) -> ev "entersArea" [ v; Rtec.Term.Atom a.id ] m.t)
+      (Geography.areas_at geography ~x:m.x ~y:m.y);
+    (match band p m.speed with
+    | Idle -> ev "stop_start" [ v ] m.t
+    | Slow -> ev "slow_motion_start" [ v ] m.t
+    | Fast -> ())
+  in
+  let velocity m =
+    ev "velocity"
+      [ vessel_atom m.vessel; Rtec.Term.Real m.speed; Rtec.Term.Real m.cog;
+        Rtec.Term.Real m.heading ]
+      m.t
+  in
+  (match messages with
+  | [] -> ()
+  | first :: rest ->
+    announce_state first;
+    velocity first;
+    let changing = ref false in
+    let step prev m =
+      let v = vessel_atom m.vessel in
+      if m.t - prev.t > p.gap_threshold then begin
+        (* Communication gap: close the old state, announce the new one. *)
+        ev "gap_start" [ v ] (prev.t + 1);
+        ev "gap_end" [ v ] m.t;
+        changing := false;
+        announce_state m;
+        velocity m
+      end
+      else begin
+        (* Speed-band transitions. *)
+        let b0 = band p prev.speed and b1 = band p m.speed in
+        if b0 <> b1 then begin
+          (match b0 with
+          | Idle -> ev "stop_end" [ v ] m.t
+          | Slow -> ev "slow_motion_end" [ v ] m.t
+          | Fast -> ());
+          match b1 with
+          | Idle -> ev "stop_start" [ v ] m.t
+          | Slow -> ev "slow_motion_start" [ v ] m.t
+          | Fast -> ()
+        end;
+        (* Speed-change episodes. *)
+        let dspeed = Float.abs (m.speed -. prev.speed) in
+        if (not !changing) && dspeed > p.speed_delta then begin
+          changing := true;
+          ev "change_in_speed_start" [ v ] m.t
+        end
+        else if !changing && dspeed <= p.speed_delta /. 2. then begin
+          changing := false;
+          ev "change_in_speed_end" [ v ] m.t
+        end;
+        (* Heading changes. *)
+        if angle_diff m.heading prev.heading > p.heading_delta then
+          ev "change_in_heading" [ v ] m.t;
+        (* Area transitions. *)
+        let before = Geography.areas_at geography ~x:prev.x ~y:prev.y in
+        let after = Geography.areas_at geography ~x:m.x ~y:m.y in
+        List.iter
+          (fun (a : Geography.area) ->
+            if not (List.memq a after) then ev "leavesArea" [ v; Rtec.Term.Atom a.id ] m.t)
+          before;
+        List.iter
+          (fun (a : Geography.area) ->
+            if not (List.memq a before) then ev "entersArea" [ v; Rtec.Term.Atom a.id ] m.t)
+          after;
+        velocity m
+      end
+    in
+    let rec walk prev = function
+      | [] ->
+        (* Coverage of the vessel ends: the stream reports a communication
+           gap, so that no activity persists past the last position. *)
+        ev "gap_start" [ vessel_atom prev.vessel ] (prev.t + 1)
+      | m :: rest ->
+        step prev m;
+        walk m rest
+    in
+    walk first rest);
+  !events
+
+(* Maximal intervals during which two vessels are within [proximity_max]
+   of each other, from their synchronised position samples. *)
+let proximity_spans p msgs1 msgs2 =
+  let positions msgs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun m -> Hashtbl.replace tbl m.t (m.x, m.y)) msgs;
+    tbl
+  in
+  let pos2 = positions msgs2 in
+  let sample_step = ref max_int in
+  let rec steps = function
+    | a :: (b :: _ as rest) ->
+      if b.t - a.t < !sample_step && b.t > a.t then sample_step := b.t - a.t;
+      steps rest
+    | _ -> ()
+  in
+  steps msgs1;
+  let step = if !sample_step = max_int then 60 else !sample_step in
+  let pairs =
+    List.filter_map
+      (fun m1 ->
+        match Hashtbl.find_opt pos2 m1.t with
+        | Some (x2, y2) when Geography.distance (m1.x, m1.y) (x2, y2) <= p.proximity_max ->
+          Some (m1.t, m1.t + step)
+        | _ -> None)
+      msgs1
+  in
+  Rtec.Interval.of_list pairs
+
+let preprocess ?(params = default_params) ~geography messages =
+  let by_vessel = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_vessel m.vessel) in
+      Hashtbl.replace by_vessel m.vessel (m :: existing))
+    messages;
+  let vessels =
+    Hashtbl.fold (fun v ms acc -> (v, List.sort (fun a b -> Int.compare a.t b.t) ms) :: acc)
+      by_vessel []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let events = List.concat_map (fun (_, ms) -> vessel_events params geography ms) vessels in
+  let rec pairs acc = function
+    | [] -> acc
+    | (v1, ms1) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (v2, ms2) ->
+            let spans = proximity_spans params ms1 ms2 in
+            if Rtec.Interval.is_empty spans then acc
+            else
+              let fv v v' =
+                (Rtec.Term.app "proximity" [ Rtec.Term.Atom v; Rtec.Term.Atom v' ],
+                 Rtec.Term.Atom "true")
+              in
+              (fv v1 v2, spans) :: (fv v2 v1, spans) :: acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  let input_fluents = pairs [] vessels in
+  Rtec.Stream.make ~input_fluents events

@@ -1,0 +1,36 @@
+(** AIS position signals and their online preprocessing into the input
+    events and fluents RTEC reasons over (mirroring the critical-point
+    pipeline feeding the system of Pitsikalis et al., DEBS 2019). *)
+
+type message = {
+  t : int;  (** time-point, seconds *)
+  vessel : string;
+  x : float;  (** metres *)
+  y : float;
+  speed : float;  (** knots *)
+  heading : float;  (** true heading, degrees *)
+  cog : float;  (** course over ground, degrees *)
+}
+
+type params = {
+  stop_max : float;  (** speed below which a vessel is idle (knots) *)
+  low_max : float;  (** upper bound of the low-speed band (knots) *)
+  gap_threshold : int;  (** silence (seconds) counting as a communication gap *)
+  speed_delta : float;  (** speed jump (knots) starting a change_in_speed *)
+  heading_delta : float;  (** heading jump (degrees) emitting change_in_heading *)
+  proximity_max : float;  (** distance (metres) under which two vessels are close *)
+}
+
+val default_params : params
+
+val knots_to_mps : float -> float
+
+val preprocess : ?params:params -> geography:Geography.t -> message list -> Rtec.Stream.t
+(** Derives, per vessel, the events [stop_start/stop_end],
+    [slow_motion_start/slow_motion_end], [change_in_speed_start/
+    change_in_speed_end], [change_in_heading], [gap_start/gap_end],
+    [entersArea/leavesArea], and a [velocity] event per message; and, per
+    vessel pair, the [proximity] input fluent (in both argument orders).
+    After a gap, the vessel's spatial and kinematic state is re-announced
+    (fresh [entersArea]/[stop_start]/[slow_motion_start] events), matching
+    the uncertainty semantics of the gap rules. *)

@@ -1,0 +1,51 @@
+type config = { seed : int; replicas : int; nominal : int }
+
+let default_config = { seed = 20250325; replicas = 2; nominal = 3 }
+
+type t = {
+  geography : Geography.t;
+  vessels : Scenario.vessel list;
+  messages : Ais.message list;
+  stream : Rtec.Stream.t;
+  knowledge : Rtec.Knowledge.t;
+}
+
+let vessel_fact (v : Scenario.vessel) =
+  Rtec.Term.app "vesselType" [ Rtec.Term.Atom v.id; Rtec.Term.Atom v.vessel_type ]
+
+let generate ?(config = default_config) () =
+  let geography = Geography.default in
+  let rng = Scenario.Rng.create config.seed in
+  let tracks = ref [] in
+  let instantiate name (builder : Scenario.builder) index =
+    let suffix = Printf.sprintf "_%s%d" name index in
+    (* Stagger start times so that replicated instances are also separated
+       in time, which keeps incidental vessel proximities rare. *)
+    let t0 = 600 + (index * 5400) + Scenario.Rng.int rng 300 in
+    tracks := builder ~rng ~suffix ~t0 geography :: !tracks
+  in
+  List.iter
+    (fun (name, builder) ->
+      if String.equal name "nominal" then
+        for i = 0 to config.nominal - 1 do
+          instantiate name builder i
+        done
+      else
+        for i = 0 to config.replicas - 1 do
+          instantiate name builder i
+        done)
+    Scenario.all;
+  let tracks = List.rev !tracks in
+  let vessels = List.concat_map (fun (t : Scenario.t) -> t.vessels) tracks in
+  let messages =
+    List.concat_map (fun (t : Scenario.t) -> t.messages) tracks
+    |> List.sort (fun (a : Ais.message) b -> Int.compare a.t b.t)
+  in
+  let stream = Ais.preprocess ~geography messages in
+  let knowledge =
+    Rtec.Knowledge.of_list
+      (Geography.area_type_facts geography
+      @ List.map vessel_fact vessels
+      @ Vocabulary.threshold_facts @ Vocabulary.type_speed_facts)
+  in
+  { geography; vessels; messages; stream; knowledge }

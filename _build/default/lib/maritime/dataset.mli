@@ -1,0 +1,24 @@
+(** Synthetic maritime dataset: scenarios composed into one AIS stream,
+    preprocessed into the RTEC input, together with the background
+    knowledge (geography, vessel types, type speeds, thresholds). *)
+
+type config = {
+  seed : int;
+  replicas : int;  (** instances of each activity scenario *)
+  nominal : int;  (** extra background-traffic vessels *)
+}
+
+val default_config : config
+
+type t = {
+  geography : Geography.t;
+  vessels : Scenario.vessel list;
+  messages : Ais.message list;
+  stream : Rtec.Stream.t;
+  knowledge : Rtec.Knowledge.t;
+}
+
+val generate : ?config:config -> unit -> t
+
+val vessel_fact : Scenario.vessel -> Rtec.Term.t
+(** The [vesselType(Vessel, Type)] fact of one vessel. *)

@@ -1,0 +1,80 @@
+let synonyms =
+  [
+    (* input events *)
+    ("entersArea", "inArea");
+    ("leavesArea", "exitsArea");
+    ("gap_start", "gapStart");
+    ("gap_end", "gapEnd");
+    ("stop_start", "stopStart");
+    ("stop_end", "stopEnd");
+    ("slow_motion_start", "slowMotionStart");
+    ("slow_motion_end", "slowMotionEnd");
+    ("change_in_speed_start", "speedChangeStart");
+    ("change_in_speed_end", "speedChangeEnd");
+    ("change_in_heading", "headingChange");
+    ("velocity", "velocitySignal");
+    (* background predicates *)
+    ("areaType", "typeOfArea");
+    ("vesselType", "typeOfVessel");
+    ("typeSpeed", "speedOfType");
+    (* constants *)
+    ("fishing", "trawlingArea");
+    ("nearPorts", "closeToPorts");
+    ("farFromPorts", "awayFromPorts");
+    ("anchorage", "anchorageArea");
+    ("nearCoast", "coastalArea");
+    ("below", "low");
+    ("above", "high");
+    (* input fluents and previously defined activities referenced in later
+       definitions *)
+    ("proximity", "nearby");
+    ("stopped", "idle");
+    ("lowSpeed", "slowSpeed");
+    ("underWay", "underway");
+    ("trawlSpeed", "trawlingSpeed");
+    ("sarSpeed", "rescueSpeed");
+    ("trawlingMovement", "trawlingPattern");
+    ("sarMovement", "rescueMovement");
+    ("tuggingSpeed", "towSpeed");
+    ("pilotSpeed", "boardingPace");
+    ("anchoredOrMoored", "anchoredMoored");
+    ("changingSpeed", "speedChanging");
+    ("rendezVous", "shipToShipTransfer");
+    ("illegalFishing", "protectedAreaFishing");
+    ("naturaSpeed", "protectedSpeed");
+    ("naturaMovement", "protectedMovement");
+    (* threshold identifiers *)
+    ("hcNearCoastMax", "maxCoastSpeed");
+    ("trawlspeedMin", "trawlSpeedMin");
+    ("trawlspeedMax", "trawlSpeedMax");
+    ("movingMin", "minMovingSpeed");
+    ("sarSpeedMin", "sarMinSpeed");
+    ("sarSpeedMax", "sarMaxSpeed");
+    ("tuggingMin", "tugSpeedMin");
+    ("tuggingMax", "tugSpeedMax");
+    ("pilotSpeedMax", "maxPilotSpeed");
+    ("adriftAngThr", "driftAngleThreshold");
+  ]
+
+let item (i : Vocabulary.item) =
+  { Domain.name = i.name; arity = i.arity; meaning = i.meaning }
+
+let threshold (t : Vocabulary.threshold) =
+  { Domain.id = t.id; value = t.value; meaning = t.meaning }
+
+let entry (e : Gold.entry) =
+  { Domain.name = e.name; code = e.code; nl = e.nl; source = e.source }
+
+let domain =
+  {
+    Domain.domain_name = "maritime";
+    input_events = List.map item Vocabulary.input_events;
+    input_fluents = List.map item Vocabulary.input_fluents;
+    background = List.map item Vocabulary.background;
+    thresholds = List.map threshold Vocabulary.thresholds;
+    entries = List.map entry Gold.entries;
+    extra_constants =
+      Vocabulary.area_types @ Vocabulary.vessel_types
+      @ [ "true"; "nearPorts"; "farFromPorts"; "below"; "normal"; "above" ];
+    synonyms;
+  }

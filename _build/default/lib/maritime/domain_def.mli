@@ -1,0 +1,7 @@
+(** The maritime domain packaged as a {!Domain.t}: the vocabulary and
+    thresholds of {!Vocabulary}, the gold standard of {!Gold}, and the
+    naming lexicon (plausible alternative names an LLM picks for maritime
+    identifiers, known to the syntactic corrector). *)
+
+val synonyms : (string * string) list
+val domain : Domain.t

@@ -1,0 +1,56 @@
+type shape =
+  | Circle of { cx : float; cy : float; r : float }
+  | Rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+
+type area = { id : string; area_type : string; shape : shape }
+type port = { port_id : string; px : float; py : float }
+type t = { areas : area list; ports : port list }
+
+let default =
+  let ports =
+    [
+      { port_id = "portBrest"; px = 3_000.; py = 20_000. };
+      { port_id = "portCamaret"; px = 3_000.; py = 70_000. };
+    ]
+  in
+  let near_port p =
+    {
+      id = "np_" ^ p.port_id;
+      area_type = "nearPorts";
+      shape = Circle { cx = p.px; cy = p.py; r = 3_000. };
+    }
+  in
+  let areas =
+    [
+      { id = "coast1"; area_type = "nearCoast";
+        shape = Rect { x0 = 0.; y0 = 0.; x1 = 6_000.; y1 = 100_000. } };
+      { id = "anch1"; area_type = "anchorage";
+        shape = Circle { cx = 12_000.; cy = 28_000.; r = 2_500. } };
+      { id = "fish1"; area_type = "fishing";
+        shape = Rect { x0 = 30_000.; y0 = 30_000.; x1 = 50_000.; y1 = 50_000. } };
+      { id = "fish2"; area_type = "fishing";
+        shape = Rect { x0 = 60_000.; y0 = 10_000.; x1 = 80_000.; y1 = 25_000. } };
+      { id = "natura1"; area_type = "natura";
+        shape = Rect { x0 = 30_000.; y0 = 60_000.; x1 = 45_000.; y1 = 80_000. } };
+    ]
+    @ List.map near_port ports
+  in
+  { areas; ports }
+
+let contains area ~x ~y =
+  match area.shape with
+  | Circle { cx; cy; r } ->
+    let dx = x -. cx and dy = y -. cy in
+    (dx *. dx) +. (dy *. dy) <= r *. r
+  | Rect { x0; y0; x1; y1 } -> x >= x0 && x <= x1 && y >= y0 && y <= y1
+
+let areas_at t ~x ~y = List.filter (fun a -> contains a ~x ~y) t.areas
+
+let area_type_facts t =
+  List.map
+    (fun a -> Rtec.Term.app "areaType" [ Rtec.Term.Atom a.id; Rtec.Term.Atom a.area_type ])
+    t.areas
+
+let distance (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))

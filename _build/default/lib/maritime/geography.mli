@@ -1,0 +1,25 @@
+(** Synthetic Brest-like geography: a planar region (coordinates in
+    metres) with ports, anchorages, fishing areas, a protected area and a
+    coastal band. Stands in for the spatial preprocessing of the real AIS
+    dataset (see DESIGN.md, substitutions). *)
+
+type shape =
+  | Circle of { cx : float; cy : float; r : float }
+  | Rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+
+type area = { id : string; area_type : string; shape : shape }
+
+type port = { port_id : string; px : float; py : float }
+
+type t = { areas : area list; ports : port list }
+
+val default : t
+(** Two ports (with [nearPorts] circles), one anchorage, two fishing
+    areas, one Natura protected area and a coastal band. *)
+
+val contains : area -> x:float -> y:float -> bool
+val areas_at : t -> x:float -> y:float -> area list
+val area_type_facts : t -> Rtec.Term.t list
+(** [areaType(AreaId, AreaType)] facts for a {!Rtec.Knowledge.t}. *)
+
+val distance : float * float -> float * float -> float

@@ -1,0 +1,595 @@
+type entry = {
+  name : string;
+  code : string option;
+  nl : string;
+  source : string;
+}
+
+let entries =
+  [
+    {
+      name = "withinArea";
+      code = None;
+      nl =
+        "This activity starts when a vessel enters an area of interest. The \
+         activity ends when the vessel leaves the area that it had entered. \
+         When there is a gap in signal transmissions, we can no longer \
+         assume that the vessel remains in the same area.";
+      source =
+        {|
+initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(entersArea(Vessel, Area), T),
+    areaType(Area, AreaType).
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, AreaType).
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "gap";
+      code = None;
+      nl =
+        "A communication gap starts when we stop receiving messages from a \
+         vessel. We would like to distinguish the cases where a \
+         communication gap starts (i) near some port and (ii) far from all \
+         ports. A communication gap ends when we resume receiving messages \
+         from a vessel.";
+      source =
+        {|
+initiatedAt(gap(Vessel)=nearPorts, T) :-
+    happensAt(gap_start(Vessel), T),
+    holdsAt(withinArea(Vessel, nearPorts)=true, T).
+initiatedAt(gap(Vessel)=farFromPorts, T) :-
+    happensAt(gap_start(Vessel), T),
+    not holdsAt(withinArea(Vessel, nearPorts)=true, T).
+terminatedAt(gap(Vessel)=nearPorts, T) :-
+    happensAt(gap_end(Vessel), T).
+terminatedAt(gap(Vessel)=farFromPorts, T) :-
+    happensAt(gap_end(Vessel), T).
+|};
+    };
+    {
+      name = "stopped";
+      code = None;
+      nl =
+        "A vessel is stopped when it is idle. We would like to distinguish \
+         the cases where the vessel is stopped (i) near some port and (ii) \
+         far from all ports. A vessel stops being stopped when it starts \
+         moving again, or when a communication gap starts.";
+      source =
+        {|
+initiatedAt(stopped(Vessel)=nearPorts, T) :-
+    happensAt(stop_start(Vessel), T),
+    holdsAt(withinArea(Vessel, nearPorts)=true, T).
+initiatedAt(stopped(Vessel)=farFromPorts, T) :-
+    happensAt(stop_start(Vessel), T),
+    not holdsAt(withinArea(Vessel, nearPorts)=true, T).
+terminatedAt(stopped(Vessel)=nearPorts, T) :-
+    happensAt(stop_end(Vessel), T).
+terminatedAt(stopped(Vessel)=farFromPorts, T) :-
+    happensAt(stop_end(Vessel), T).
+terminatedAt(stopped(Vessel)=nearPorts, T) :-
+    happensAt(gap_start(Vessel), T).
+terminatedAt(stopped(Vessel)=farFromPorts, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "lowSpeed";
+      code = None;
+      nl =
+        "A vessel sails at a low speed while it is moving slowly. The \
+         activity ends when the slow motion ends or when a communication \
+         gap starts.";
+      source =
+        {|
+initiatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(slow_motion_start(Vessel), T).
+terminatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(slow_motion_end(Vessel), T).
+terminatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "changingSpeed";
+      code = None;
+      nl =
+        "A vessel is changing its speed between the moment a speed change \
+         starts and the moment it ends. A communication gap also ends the \
+         activity.";
+      source =
+        {|
+initiatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(change_in_speed_start(Vessel), T).
+terminatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(change_in_speed_end(Vessel), T).
+terminatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "movingSpeed";
+      code = None;
+      nl =
+        "While a vessel is moving, we would like to know whether it moves \
+         at a speed that is below, within, or above the typical sailing \
+         speed range of its vessel type. A vessel is moving when its speed \
+         is at least the minimum moving speed. The activity ends when the \
+         vessel's speed drops below the minimum moving speed or when a \
+         communication gap starts.";
+      source =
+        {|
+initiatedAt(movingSpeed(Vessel)=below, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(movingMin, MovingMin),
+    Speed >= MovingMin,
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max, Avg),
+    Speed < Min.
+initiatedAt(movingSpeed(Vessel)=normal, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max, Avg),
+    Speed >= Min,
+    Speed =< Max.
+initiatedAt(movingSpeed(Vessel)=above, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max, Avg),
+    Speed > Max.
+terminatedAt(movingSpeed(Vessel)=below, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(movingMin, MovingMin),
+    Speed < MovingMin.
+terminatedAt(movingSpeed(Vessel)=normal, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(movingMin, MovingMin),
+    Speed < MovingMin.
+terminatedAt(movingSpeed(Vessel)=above, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(movingMin, MovingMin),
+    Speed < MovingMin.
+terminatedAt(movingSpeed(Vessel)=below, T) :-
+    happensAt(gap_start(Vessel), T).
+terminatedAt(movingSpeed(Vessel)=normal, T) :-
+    happensAt(gap_start(Vessel), T).
+terminatedAt(movingSpeed(Vessel)=above, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "underWay";
+      code = None;
+      nl = "This activity lasts as long as a vessel is moving.";
+      source =
+        {|
+holdsFor(underWay(Vessel)=true, I) :-
+    holdsFor(movingSpeed(Vessel)=below, I1),
+    holdsFor(movingSpeed(Vessel)=normal, I2),
+    holdsFor(movingSpeed(Vessel)=above, I3),
+    union_all([I1, I2, I3], I).
+|};
+    };
+    {
+      name = "highSpeedNearCoast";
+      code = Some "h";
+      nl =
+        "A vessel sails at a dangerously high speed near the coastline when \
+         its speed exceeds the maximum safe coastal sailing speed while it \
+         is within a coastal area. The activity ends when the speed of the \
+         vessel drops to a safe value, when the vessel leaves the coastal \
+         area, or when a communication gap starts.";
+      source =
+        {|
+initiatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    holdsAt(withinArea(Vessel, nearCoast)=true, T),
+    thresholds(hcNearCoastMax, HcNearCoastMax),
+    Speed > HcNearCoastMax.
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(hcNearCoastMax, HcNearCoastMax),
+    Speed =< HcNearCoastMax.
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, nearCoast).
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "anchoredOrMoored";
+      code = Some "aM";
+      nl =
+        "A vessel is anchored when it is stopped far from all ports within \
+         an anchorage area. A vessel is moored when it is stopped near some \
+         port. The activity holds while the vessel is anchored or moored.";
+      source =
+        {|
+holdsFor(anchoredOrMoored(Vessel)=true, I) :-
+    holdsFor(stopped(Vessel)=farFromPorts, Isf),
+    holdsFor(withinArea(Vessel, anchorage)=true, Ia),
+    intersect_all([Isf, Ia], Isfa),
+    holdsFor(stopped(Vessel)=nearPorts, Isn),
+    union_all([Isfa, Isn], I).
+|};
+    };
+    {
+      name = "trawlSpeed";
+      code = None;
+      nl =
+        "A vessel moves at trawling speed when, within a fishing area, its \
+         speed lies between the minimum and the maximum speed at which \
+         trawlers tow their nets. The activity ends when the speed of the \
+         vessel leaves that range, when the vessel leaves the fishing area, \
+         or when a communication gap starts.";
+      source =
+        {|
+initiatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    holdsAt(withinArea(Vessel, fishing)=true, T),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    Speed >= TrawlspeedMin,
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed =< TrawlspeedMax.
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    Speed < TrawlspeedMin.
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed > TrawlspeedMax.
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, fishing).
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "trawlingMovement";
+      code = None;
+      nl =
+        "A vessel exhibits a trawling movement pattern when it changes its \
+         heading while sailing within a fishing area. The pattern ends when \
+         the vessel leaves the fishing area or when a communication gap \
+         starts.";
+      source =
+        {|
+initiatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(change_in_heading(Vessel), T),
+    holdsAt(withinArea(Vessel, fishing)=true, T).
+terminatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, fishing).
+terminatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "trawling";
+      code = Some "tr";
+      nl =
+        "A vessel is trawling while, within a fishing area, it both moves \
+         at trawling speed and exhibits a trawling movement pattern.";
+      source =
+        {|
+holdsFor(trawling(Vessel)=true, I) :-
+    holdsFor(trawlSpeed(Vessel)=true, Is),
+    holdsFor(trawlingMovement(Vessel)=true, Im),
+    intersect_all([Is, Im], I).
+|};
+    };
+    {
+      name = "tuggingSpeed";
+      code = None;
+      nl =
+        "A vessel moves at tugging speed when its speed lies between the \
+         minimum and the maximum speed of a towing operation. The activity \
+         ends when the speed of the vessel leaves that range or when a \
+         communication gap starts.";
+      source =
+        {|
+initiatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(tuggingMin, TuggingMin),
+    Speed >= TuggingMin,
+    thresholds(tuggingMax, TuggingMax),
+    Speed =< TuggingMax.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(tuggingMin, TuggingMin),
+    Speed < TuggingMin.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(tuggingMax, TuggingMax),
+    Speed > TuggingMax.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "tugging";
+      code = Some "tu";
+      nl =
+        "A tug is towing another vessel while the two vessels are close to \
+         each other and both move at tugging speed.";
+      source =
+        {|
+holdsFor(tugging(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    holdsFor(tuggingSpeed(Vessel1)=true, I1),
+    holdsFor(tuggingSpeed(Vessel2)=true, I2),
+    intersect_all([Ip, I1, I2], I).
+|};
+    };
+    {
+      name = "rendezVous";
+      code = None;
+      nl =
+        "A ship-to-ship transfer may be taking place while two vessels are \
+         close to each other and each of them either sails at a low speed \
+         or is stopped far from all ports.";
+      source =
+        {|
+holdsFor(rendezVous(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    holdsFor(lowSpeed(Vessel1)=true, Il1),
+    holdsFor(stopped(Vessel1)=farFromPorts, Is1),
+    union_all([Il1, Is1], I1),
+    holdsFor(lowSpeed(Vessel2)=true, Il2),
+    holdsFor(stopped(Vessel2)=farFromPorts, Is2),
+    union_all([Il2, Is2], I2),
+    intersect_all([Ip, I1, I2], I).
+|};
+    };
+    {
+      name = "naturaSpeed";
+      code = None;
+      nl =
+        "A vessel moves at fishing speed inside a protected area when, \
+         within an area of the Natura 2000 network, its speed lies between \
+         the minimum and the maximum speed at which trawlers tow their \
+         nets. The activity ends when the speed of the vessel leaves that \
+         range, when the vessel leaves the protected area, or when a \
+         communication gap starts.";
+      source =
+        {|
+initiatedAt(naturaSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    holdsAt(withinArea(Vessel, natura)=true, T),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    Speed >= TrawlspeedMin,
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed =< TrawlspeedMax.
+terminatedAt(naturaSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    Speed < TrawlspeedMin.
+terminatedAt(naturaSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed > TrawlspeedMax.
+terminatedAt(naturaSpeed(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, natura).
+terminatedAt(naturaSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "naturaMovement";
+      code = None;
+      nl =
+        "A vessel exhibits a fishing movement pattern inside a protected \
+         area when it makes consecutive turns while sailing within an area \
+         of the Natura 2000 network. The pattern ends when the vessel \
+         leaves the protected area or when a communication gap starts.";
+      source =
+        {|
+initiatedAt(naturaMovement(Vessel)=true, T) :-
+    happensAt(change_in_heading(Vessel), T),
+    holdsAt(withinArea(Vessel, natura)=true, T).
+terminatedAt(naturaMovement(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, natura).
+terminatedAt(naturaMovement(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "illegalFishing";
+      code = None;
+      nl =
+        "A vessel may be fishing illegally while, within a protected area \
+         of the Natura 2000 network, it both moves at fishing speed and \
+         exhibits a fishing movement pattern.";
+      source =
+        {|
+holdsFor(illegalFishing(Vessel)=true, I) :-
+    holdsFor(naturaSpeed(Vessel)=true, Is),
+    holdsFor(naturaMovement(Vessel)=true, Im),
+    intersect_all([Is, Im], I).
+|};
+    };
+    {
+      name = "pilotSpeed";
+      code = None;
+      nl =
+        "A pilot vessel moves at boarding speed when it is moving and its \
+         speed does not exceed the maximum speed of a boarding operation. \
+         The activity ends when the speed of the pilot vessel exceeds that \
+         maximum, when the pilot vessel stops, or when a communication gap \
+         starts.";
+      source =
+        {|
+initiatedAt(pilotSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    vesselType(Vessel, pilotVessel),
+    thresholds(movingMin, MovingMin),
+    Speed >= MovingMin,
+    thresholds(pilotSpeedMax, PilotSpeedMax),
+    Speed =< PilotSpeedMax.
+terminatedAt(pilotSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(pilotSpeedMax, PilotSpeedMax),
+    Speed > PilotSpeedMax.
+terminatedAt(pilotSpeed(Vessel)=true, T) :-
+    happensAt(stop_start(Vessel), T).
+terminatedAt(pilotSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "pilotBoarding";
+      code = Some "p";
+      nl =
+        "A pilot boarding operation takes place while a pilot vessel, \
+         moving at boarding speed, is close to another vessel that sails at \
+         a low speed.";
+      source =
+        {|
+holdsFor(pilotBoarding(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    holdsFor(pilotSpeed(Vessel1)=true, I1),
+    holdsFor(lowSpeed(Vessel2)=true, I2),
+    intersect_all([Ip, I1, I2], I).
+|};
+    };
+    {
+      name = "loitering";
+      code = Some "l";
+      nl =
+        "A vessel is loitering while it sails at a low speed or is stopped \
+         far from all ports, provided that it is not anchored or moored.";
+      source =
+        {|
+holdsFor(loitering(Vessel)=true, I) :-
+    holdsFor(lowSpeed(Vessel)=true, Il),
+    holdsFor(stopped(Vessel)=farFromPorts, Is),
+    union_all([Il, Is], Iu),
+    holdsFor(anchoredOrMoored(Vessel)=true, Ia),
+    relative_complement_all(Iu, [Ia], I).
+|};
+    };
+    {
+      name = "sarSpeed";
+      code = None;
+      nl =
+        "A search-and-rescue vessel moves at search-and-rescue speed when \
+         its speed lies between the minimum and the maximum speed of a \
+         search-and-rescue operation. The activity ends when the speed of \
+         the vessel leaves that range or when a communication gap starts.";
+      source =
+        {|
+initiatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    vesselType(Vessel, sar),
+    thresholds(sarSpeedMin, SarSpeedMin),
+    Speed >= SarSpeedMin,
+    thresholds(sarSpeedMax, SarSpeedMax),
+    Speed =< SarSpeedMax.
+terminatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(sarSpeedMin, SarSpeedMin),
+    Speed < SarSpeedMin.
+terminatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(sarSpeedMax, SarSpeedMax),
+    Speed > SarSpeedMax.
+terminatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "sarMovement";
+      code = None;
+      nl =
+        "A search-and-rescue vessel exhibits a search-and-rescue movement \
+         pattern when it changes its heading while moving at \
+         search-and-rescue speed. The pattern ends when the vessel stops or \
+         when a communication gap starts.";
+      source =
+        {|
+initiatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(change_in_heading(Vessel), T),
+    holdsAt(sarSpeed(Vessel)=true, T).
+terminatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(stop_start(Vessel), T).
+terminatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(sarSpeedMin, SarSpeedMin),
+    Speed < SarSpeedMin.
+terminatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+    {
+      name = "searchAndRescue";
+      code = Some "s";
+      nl =
+        "A vessel is engaged in a search-and-rescue operation while it both \
+         moves at search-and-rescue speed and exhibits a search-and-rescue \
+         movement pattern.";
+      source =
+        {|
+holdsFor(searchAndRescue(Vessel)=true, I) :-
+    holdsFor(sarSpeed(Vessel)=true, Is),
+    holdsFor(sarMovement(Vessel)=true, Im),
+    intersect_all([Is, Im], I).
+|};
+    };
+    {
+      name = "drifting";
+      code = Some "d";
+      nl =
+        "A vessel is drifting when, while under way, its course over ground \
+         diverges from its true heading by more than the drift angle \
+         threshold. The activity ends when the divergence drops below the \
+         threshold, when the vessel stops, or when a communication gap \
+         starts.";
+      source =
+        {|
+initiatedAt(drifting(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    holdsAt(underWay(Vessel)=true, T),
+    thresholds(adriftAngThr, AdriftAngThr),
+    CoG - Heading > AdriftAngThr.
+initiatedAt(drifting(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    holdsAt(underWay(Vessel)=true, T),
+    thresholds(adriftAngThr, AdriftAngThr),
+    Heading - CoG > AdriftAngThr.
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, CoG, Heading), T),
+    thresholds(adriftAngThr, AdriftAngThr),
+    CoG - Heading =< AdriftAngThr,
+    Heading - CoG =< AdriftAngThr.
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(stop_start(Vessel), T).
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+|};
+    };
+  ]
+
+let entry name = List.find (fun e -> String.equal e.name name) entries
+
+let reported =
+  let codes = [ "h"; "aM"; "tr"; "tu"; "p"; "l"; "s"; "d" ] in
+  List.map (fun c -> List.find (fun e -> e.code = Some c) entries) codes
+
+let definition name =
+  let e = entry name in
+  Rtec.Parser.parse_definition ~name e.source
+
+let event_description = List.map (fun e -> Rtec.Parser.parse_definition ~name:e.name e.source) entries
+
+let fvp_of name (fluent, _value) = String.equal (Rtec.Term.functor_of fluent) name
+
+let defined_constants =
+  List.map (fun e -> e.name) entries

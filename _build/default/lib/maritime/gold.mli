@@ -1,0 +1,39 @@
+(** The hand-crafted maritime event description used as the gold standard
+    (after Pitsikalis et al., DEBS 2019), together with the
+    natural-language description of each composite activity — the text
+    that instantiates prompt G for that activity.
+
+    Definitions are listed bottom-up: each definition may refer to fluents
+    defined earlier, forming the activity hierarchy the paper exploits for
+    caching. *)
+
+type entry = {
+  name : string;  (** fluent name, e.g. ["trawling"] *)
+  code : string option;
+      (** the figure-2 label (["h"], ["aM"], ..., ["d"]) for the 8 reported
+          activities; [None] for lower-level fluents *)
+  nl : string;  (** natural-language description (prompt G input) *)
+  source : string;  (** hand-crafted rules in concrete RTEC syntax *)
+}
+
+val entries : entry list
+val entry : string -> entry
+(** Raises [Not_found]. *)
+
+val reported : entry list
+(** The 8 activities of Figures 2a–2c, in figure order:
+    [h aM tr tu p l s d]. *)
+
+val definition : string -> Rtec.Ast.definition
+(** Parsed rules of one entry. *)
+
+val event_description : Rtec.Ast.t
+(** The complete gold-standard event description. *)
+
+val fvp_of : string -> Rtec.Term.t * Rtec.Term.t -> bool
+(** [fvp_of name (f, v)] holds when the ground FVP [(f, v)] is an instance
+    of the activity [name] (used when collecting recognised intervals). *)
+
+val defined_constants : string list
+(** Constants introduced by the gold definitions themselves (fluent names
+    and values); part of the corrector's target vocabulary. *)

@@ -1,0 +1,255 @@
+module Rng = struct
+  (* Deterministic LCG (Numerical Recipes constants): datasets must be
+     reproducible across runs. *)
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed land 0x3FFFFFFF) }
+
+  let next rng =
+    rng.state <-
+      Int64.add (Int64.mul rng.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_float (Int64.shift_right_logical rng.state 11)
+    /. 9007199254740992.0
+
+  let float rng bound = next rng *. bound
+  let range rng lo hi = lo +. (next rng *. (hi -. lo))
+  let int rng bound = int_of_float (float rng (float_of_int bound))
+end
+
+type vessel = { id : string; vessel_type : string }
+type t = { vessels : vessel list; messages : Ais.message list }
+
+type leg = {
+  duration : int;
+  speed : float;
+  speed_jitter : float;
+  course : float;
+  heading_offset : float;
+  turn_every : int;
+  turn_amplitude : float;
+  silent : bool;
+}
+
+let leg ?(speed_jitter = 0.) ?(heading_offset = 0.) ?(turn_every = 0)
+    ?(turn_amplitude = 0.) ?(silent = false) ~duration ~speed ~course () =
+  { duration; speed; speed_jitter; course; heading_offset; turn_every;
+    turn_amplitude; silent }
+
+let pi = 4. *. atan 1.
+
+let sail ~rng ~id ~vessel_type ~start ~t0 ?(step = 60) legs =
+  let x = ref (fst start) and y = ref (snd start) in
+  let t = ref t0 in
+  let messages = ref [] in
+  let emit_leg l =
+    let elapsed = ref 0 in
+    let turn_sign = ref 1. in
+    while !elapsed < l.duration do
+      let zigzag =
+        if l.turn_every > 0 && !elapsed > 0 && !elapsed mod l.turn_every = 0 then begin
+          turn_sign := -. !turn_sign;
+          !turn_sign *. l.turn_amplitude
+        end
+        else if l.turn_every > 0 then !turn_sign *. l.turn_amplitude
+        else 0.
+      in
+      let cog = l.course +. zigzag in
+      let heading = cog -. l.heading_offset in
+      let speed =
+        if l.speed_jitter > 0. then
+          Float.max 0. (l.speed +. Rng.range rng (-.l.speed_jitter) l.speed_jitter)
+        else l.speed
+      in
+      if not l.silent then
+        messages :=
+          { Ais.t = !t; vessel = id; x = !x; y = !y; speed; heading; cog } :: !messages;
+      (* Integrate the position along the course over ground. *)
+      let mps = Ais.knots_to_mps speed in
+      let rad = cog *. pi /. 180. in
+      x := !x +. (mps *. float_of_int step *. cos rad);
+      y := !y +. (mps *. float_of_int step *. sin rad);
+      t := !t + step;
+      elapsed := !elapsed + step
+    done
+  in
+  List.iter emit_leg legs;
+  { vessels = [ { id; vessel_type } ]; messages = List.rev !messages }
+
+let combine ts =
+  {
+    vessels = List.concat_map (fun t -> t.vessels) ts;
+    messages = List.concat_map (fun t -> t.messages) ts;
+  }
+
+type builder = rng:Rng.t -> suffix:string -> t0:int -> Geography.t -> t
+
+let hour = 3600
+
+(* Each builder perturbs its lane slightly so that replicated instances do
+   not sail on top of each other. *)
+let lane_jitter rng = Rng.range rng (-2000.) 2000.
+
+let trawler ~rng ~suffix ~t0 _geo =
+  let y0 = 40_000. +. lane_jitter rng in
+  sail ~rng ~id:("trawler" ^ suffix) ~vessel_type:"fishing" ~start:(26_500., y0) ~t0
+    [
+      leg ~duration:2400 ~speed:8.0 ~speed_jitter:0.3 ~course:0. ();
+      leg ~duration:(3 * hour / 2) ~speed:3.0 ~speed_jitter:0.4 ~course:0. ~turn_every:600
+        ~turn_amplitude:35. ();
+      leg ~duration:(3 * hour / 2) ~speed:3.0 ~speed_jitter:0.4 ~course:180. ~turn_every:600
+        ~turn_amplitude:35. ();
+      leg ~duration:2400 ~speed:8.0 ~speed_jitter:0.3 ~course:180. ();
+    ]
+
+let speeder ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("speeder" ^ suffix) ~vessel_type:"passenger"
+    ~start:(3_000. +. (lane_jitter rng /. 2.), 32_000.) ~t0
+    [
+      leg ~duration:hour ~speed:20.0 ~speed_jitter:0.8 ~course:90. ();
+      leg ~duration:1200 ~speed:20.0 ~speed_jitter:0.8 ~course:0. ();
+    ]
+
+let anchored ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("anchored" ^ suffix) ~vessel_type:"cargo"
+    ~start:(12_000. +. (lane_jitter rng /. 4.), 21_000.) ~t0
+    [
+      leg ~duration:(5 * hour / 4) ~speed:3.0 ~speed_jitter:0.2 ~course:90. ();
+      leg ~duration:(6 * hour) ~speed:0.1 ~course:90. ();
+      leg ~duration:hour ~speed:3.0 ~speed_jitter:0.2 ~course:90. ();
+    ]
+
+let moored ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("moored" ^ suffix) ~vessel_type:"cargo"
+    ~start:(3_000. +. (lane_jitter rng /. 4.), 14_000.) ~t0
+    [
+      leg ~duration:2400 ~speed:3.0 ~speed_jitter:0.2 ~course:90. ();
+      leg ~duration:(5 * hour) ~speed:0.1 ~course:90. ();
+      leg ~duration:2400 ~speed:3.0 ~speed_jitter:0.2 ~course:270. ();
+    ]
+
+let tug_pair ~rng ~suffix ~t0 _geo =
+  let y0 = 55_000. +. lane_jitter rng in
+  let tow_legs extra =
+    [
+      leg ~duration:(4 * hour) ~speed:3.5 ~speed_jitter:0.3 ~course:0. ();
+      leg ~duration:hour ~speed:7.0 ~speed_jitter:0.3 ~course:extra ();
+    ]
+  in
+  combine
+    [
+      sail ~rng ~id:("tug" ^ suffix) ~vessel_type:"tug" ~start:(20_000., y0) ~t0
+        (tow_legs 45.);
+      sail ~rng ~id:("tow" ^ suffix) ~vessel_type:"cargo" ~start:(20_000., y0 +. 200.) ~t0
+        (tow_legs 315.);
+    ]
+
+let pilot_pair ~rng ~suffix ~t0 _geo =
+  let y0 = 60_000. +. lane_jitter rng in
+  combine
+    [
+      sail ~rng ~id:("pilot" ^ suffix) ~vessel_type:"pilotVessel" ~start:(10_000., y0) ~t0
+        [
+          leg ~duration:hour ~speed:1.4 ~course:0. ();
+          leg ~duration:hour ~speed:8.0 ~speed_jitter:0.5 ~course:270. ();
+        ];
+      sail ~rng ~id:("boarded" ^ suffix) ~vessel_type:"cargo" ~start:(10_000., y0 +. 250.)
+        ~t0
+        [
+          leg ~duration:hour ~speed:1.5 ~course:0. ();
+          leg ~duration:hour ~speed:10.0 ~speed_jitter:0.5 ~course:270. ();
+        ];
+    ]
+
+let loiterer ~rng ~suffix ~t0 _geo =
+  let y0 = 60_000. +. lane_jitter rng in
+  sail ~rng ~id:("loiterer" ^ suffix) ~vessel_type:"tanker" ~start:(55_000., y0) ~t0
+    [
+      leg ~duration:(2 * hour) ~speed:1.2 ~speed_jitter:0.2 ~course:0. ();
+      leg ~duration:hour ~speed:0.2 ~course:0. ();
+      leg ~duration:(2 * hour) ~speed:1.0 ~speed_jitter:0.2 ~course:180. ();
+      leg ~duration:hour ~speed:9.0 ~speed_jitter:0.4 ~course:90. ();
+    ]
+
+let sar ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("sar" ^ suffix) ~vessel_type:"sar"
+    ~start:(60_000. +. lane_jitter rng, 40_000.) ~t0
+    [
+      leg ~duration:(4 * hour) ~speed:10.0 ~speed_jitter:1.0 ~course:90. ~turn_every:300
+        ~turn_amplitude:60. ();
+      leg ~duration:hour ~speed:16.5 ~speed_jitter:0.4 ~course:180. ();
+    ]
+
+let drifter ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("drifter" ^ suffix) ~vessel_type:"tanker"
+    ~start:(70_000. +. lane_jitter rng, 60_000.) ~t0
+    [
+      leg ~duration:1200 ~speed:2.0 ~speed_jitter:0.2 ~course:45. ();
+      leg ~duration:(3 * hour) ~speed:2.0 ~speed_jitter:0.2 ~course:45. ~heading_offset:45. ();
+      leg ~duration:hour ~speed:2.0 ~speed_jitter:0.2 ~course:45. ();
+    ]
+
+let gapper ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("gapper" ^ suffix) ~vessel_type:"cargo"
+    ~start:(40_000., 85_000. +. lane_jitter rng) ~t0
+    [
+      leg ~duration:hour ~speed:12.0 ~speed_jitter:0.5 ~course:0. ();
+      leg ~duration:hour ~speed:12.0 ~course:0. ~silent:true ();
+      leg ~duration:hour ~speed:12.0 ~speed_jitter:0.5 ~course:0. ();
+      leg ~duration:2700 ~speed:12.0 ~course:0. ~silent:true ();
+      leg ~duration:hour ~speed:12.0 ~speed_jitter:0.5 ~course:0. ();
+    ]
+
+let natura_trawler ~rng ~suffix ~t0 _geo =
+  (* The paper's motivating example: consecutive turns at fishing speed
+     inside an environmentally protected area. *)
+  let y0 = 70_000. +. lane_jitter rng in
+  sail ~rng ~id:("poacher" ^ suffix) ~vessel_type:"fishing" ~start:(26_500., y0) ~t0
+    [
+      leg ~duration:2400 ~speed:8.0 ~speed_jitter:0.3 ~course:0. ();
+      leg ~duration:hour ~speed:3.0 ~speed_jitter:0.4 ~course:0. ~turn_every:600
+        ~turn_amplitude:35. ();
+      leg ~duration:hour ~speed:3.0 ~speed_jitter:0.4 ~course:180. ~turn_every:600
+        ~turn_amplitude:35. ();
+      leg ~duration:2400 ~speed:8.0 ~speed_jitter:0.3 ~course:180. ();
+    ]
+
+let rendezvous_pair ~rng ~suffix ~t0 _geo =
+  (* Two tankers loiter side by side far from all ports: a possible
+     ship-to-ship transfer. *)
+  let y0 = 60_000. +. lane_jitter rng in
+  let transfer =
+    [
+      leg ~duration:hour ~speed:1.2 ~speed_jitter:0.2 ~course:0. ();
+      leg ~duration:(2 * hour) ~speed:0.2 ~course:0. ();
+      leg ~duration:hour ~speed:8.0 ~speed_jitter:0.4 ~course:90. ();
+    ]
+  in
+  combine
+    [
+      sail ~rng ~id:("giver" ^ suffix) ~vessel_type:"tanker" ~start:(85_000., y0) ~t0
+        transfer;
+      sail ~rng ~id:("taker" ^ suffix) ~vessel_type:"tanker" ~start:(85_000., y0 +. 250.)
+        ~t0 transfer;
+    ]
+
+let nominal ~rng ~suffix ~t0 _geo =
+  sail ~rng ~id:("cargo" ^ suffix) ~vessel_type:"cargo"
+    ~start:(90_000. +. lane_jitter rng, 5_000.) ~t0
+    [ leg ~duration:(4 * hour) ~speed:12.0 ~speed_jitter:0.6 ~course:90. () ]
+
+let all =
+  [
+    ("trawler", trawler);
+    ("speeder", speeder);
+    ("anchored", anchored);
+    ("moored", moored);
+    ("tug_pair", tug_pair);
+    ("pilot_pair", pilot_pair);
+    ("loiterer", loiterer);
+    ("sar", sar);
+    ("drifter", drifter);
+    ("gapper", gapper);
+    ("natura_trawler", natura_trawler);
+    ("rendezvous_pair", rendezvous_pair);
+    ("nominal", nominal);
+  ]

@@ -1,0 +1,90 @@
+(** Scripted vessel behaviours for the synthetic AIS stream. Each scenario
+    produces the position messages of one vessel (or a pair), designed to
+    exhibit exactly one composite activity of Figure 2 plus the incidental
+    lower-level activities. All randomness comes from a deterministic
+    linear-congruential generator, so datasets are reproducible. *)
+
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val float : t -> float -> float
+  (** [float rng bound] is uniform in [\[0, bound)]. *)
+
+  val range : t -> float -> float -> float
+  val int : t -> int -> int
+end
+
+type vessel = { id : string; vessel_type : string }
+
+type t = { vessels : vessel list; messages : Ais.message list }
+
+(** A leg of a trajectory: sail for [duration] seconds at [speed] knots
+    (with uniform jitter of [speed_jitter]) on course [course] (degrees,
+    mathematical convention), reporting a true heading that diverges from
+    the course by [heading_offset]. [turn_every]/[turn_amplitude] make the
+    course zig-zag around its nominal value, producing change_in_heading
+    events. [silent] suppresses messages (a communication gap). *)
+type leg = {
+  duration : int;
+  speed : float;
+  speed_jitter : float;
+  course : float;
+  heading_offset : float;
+  turn_every : int;  (** 0 = never turn *)
+  turn_amplitude : float;
+  silent : bool;
+}
+
+val leg : ?speed_jitter:float -> ?heading_offset:float -> ?turn_every:int ->
+  ?turn_amplitude:float -> ?silent:bool -> duration:int -> speed:float ->
+  course:float -> unit -> leg
+
+val sail :
+  rng:Rng.t -> id:string -> vessel_type:string -> start:float * float ->
+  t0:int -> ?step:int -> leg list -> t
+(** Integrates the legs into a message track, sampling every [step]
+    (default 60) seconds. *)
+
+(** {1 The scenario library} *)
+
+type builder = rng:Rng.t -> suffix:string -> t0:int -> Geography.t -> t
+
+val trawler : builder
+(** Enters a fishing area, tows at trawling speed with frequent heading
+    changes for hours, leaves: [trawling]. *)
+
+val speeder : builder
+(** Crosses the coastal band above the safe speed: [highSpeedNearCoast]. *)
+
+val anchored : builder
+(** Stops inside the anchorage, far from ports: [anchoredOrMoored]. *)
+
+val moored : builder
+(** Stops near a port: [anchoredOrMoored]. *)
+
+val tug_pair : builder
+(** A tug and its tow move together at tugging speed: [tugging]. *)
+
+val pilot_pair : builder
+(** A pilot vessel boards a slow cargo ship: [pilotBoarding]. *)
+
+val loiterer : builder
+(** Lingers at low speed (with a stop) far from ports, outside anchorages:
+    [loitering]. *)
+
+val sar : builder
+(** A search-and-rescue vessel sweeps with frequent course changes at SAR
+    speed: [searchAndRescue]. *)
+
+val drifter : builder
+(** Under way with course-over-ground diverging from heading: [drifting]. *)
+
+val gapper : builder
+(** Normal sailing interrupted by communication gaps: [gap]. *)
+
+val nominal : builder
+(** Unremarkable cargo crossing; background traffic. *)
+
+val all : (string * builder) list
+(** The scenario library, keyed by name. *)

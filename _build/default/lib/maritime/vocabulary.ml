@@ -1,0 +1,130 @@
+type item = { name : string; arity : int; meaning : string }
+type threshold = { id : string; value : float; meaning : string }
+
+let input_events =
+  [
+    { name = "change_in_speed_start"; arity = 1;
+      meaning = "'Vessel' started changing its speed." };
+    { name = "change_in_speed_end"; arity = 1;
+      meaning = "'Vessel' stopped changing its speed." };
+    { name = "change_in_heading"; arity = 1;
+      meaning = "'Vessel' changed its heading by a significant amount." };
+    { name = "entersArea"; arity = 2;
+      meaning = "'Vessel' entered the area with identifier 'Area'." };
+    { name = "leavesArea"; arity = 2;
+      meaning = "'Vessel' left the area with identifier 'Area'." };
+    { name = "gap_start"; arity = 1;
+      meaning = "We stopped receiving position messages from 'Vessel'." };
+    { name = "gap_end"; arity = 1;
+      meaning = "We resumed receiving position messages from 'Vessel'." };
+    { name = "slow_motion_start"; arity = 1;
+      meaning = "'Vessel' started moving at a low speed." };
+    { name = "slow_motion_end"; arity = 1;
+      meaning = "'Vessel' stopped moving at a low speed." };
+    { name = "stop_start"; arity = 1;
+      meaning = "'Vessel' became idle, i.e. it stopped moving." };
+    { name = "stop_end"; arity = 1;
+      meaning = "'Vessel' stopped being idle, i.e. it started moving again." };
+    { name = "velocity"; arity = 4;
+      meaning =
+        "A position signal of 'Vessel' reporting its speed (knots), its \
+         course over ground and its true heading (degrees)." };
+  ]
+
+let input_fluents =
+  [
+    { name = "proximity"; arity = 2;
+      meaning =
+        "The intervals during which two vessels are close to each other, \
+         computed by spatial preprocessing." };
+  ]
+
+let background =
+  [
+    { name = "vesselType"; arity = 2;
+      meaning = "'Vessel' is of the given type, e.g. fishing, tug, sar." };
+    { name = "typeSpeed"; arity = 4;
+      meaning =
+        "Vessels of a type sail, when under way, between a minimum and a \
+         maximum speed, with a typical average." };
+    { name = "areaType"; arity = 2;
+      meaning = "The area with identifier 'Area' is of the given type." };
+    { name = "thresholds"; arity = 2;
+      meaning = "The threshold with the given identifier has the given value." };
+  ]
+
+let thresholds =
+  [
+    { id = "movingMin"; value = 0.5;
+      meaning = "The minimum speed at which a vessel is considered to be moving." };
+    { id = "hcNearCoastMax"; value = 5.0;
+      meaning =
+        "The maximum sailing speed that is safe for a vessel to have in a \
+         coastal area." };
+    { id = "trawlspeedMin"; value = 2.0;
+      meaning = "The minimum speed at which trawlers tow their nets." };
+    { id = "trawlspeedMax"; value = 4.5;
+      meaning = "The maximum speed at which trawlers tow their nets." };
+    { id = "tuggingMin"; value = 2.0;
+      meaning = "The minimum speed of a towing operation." };
+    { id = "tuggingMax"; value = 6.0;
+      meaning = "The maximum speed of a towing operation." };
+    { id = "pilotSpeedMax"; value = 2.0;
+      meaning = "The maximum speed of a pilot vessel during a boarding operation." };
+    { id = "sarSpeedMin"; value = 7.0;
+      meaning = "The minimum speed of a search-and-rescue operation." };
+    { id = "sarSpeedMax"; value = 15.0;
+      meaning = "The maximum speed of a search-and-rescue operation." };
+    { id = "adriftAngThr"; value = 30.0;
+      meaning =
+        "The minimum divergence between the course over ground and the true \
+         heading of a vessel that indicates that the vessel is drifting." };
+  ]
+
+let threshold_value id =
+  match List.find_opt (fun t -> String.equal t.id id) thresholds with
+  | Some t -> t.value
+  | None -> raise Not_found
+
+let area_types = [ "fishing"; "anchorage"; "nearCoast"; "nearPorts"; "natura" ]
+
+let vessel_types =
+  [ "cargo"; "tanker"; "passenger"; "fishing"; "tug"; "pilotVessel"; "sar" ]
+
+let type_speeds =
+  [
+    ("cargo", 8.0, 16.0, 12.0);
+    ("tanker", 7.0, 14.0, 10.0);
+    ("passenger", 10.0, 25.0, 18.0);
+    ("fishing", 2.0, 12.0, 7.0);
+    ("tug", 2.0, 8.0, 5.0);
+    ("pilotVessel", 1.0, 10.0, 5.0);
+    ("sar", 5.0, 18.0, 10.0);
+  ]
+
+let threshold_facts =
+  List.map
+    (fun t -> Rtec.Term.app "thresholds" [ Rtec.Term.Atom t.id; Rtec.Term.Real t.value ])
+    thresholds
+
+let type_speed_facts =
+  List.map
+    (fun (ty, min, max, avg) ->
+      Rtec.Term.app "typeSpeed"
+        [ Rtec.Term.Atom ty; Rtec.Term.Real min; Rtec.Term.Real max; Rtec.Term.Real avg ])
+    type_speeds
+
+let check_vocabulary =
+  {
+    Rtec.Check.input_events = List.map (fun i -> (i.name, i.arity)) input_events;
+    input_fluents = List.map (fun i -> (i.name, i.arity)) input_fluents;
+    background = List.map (fun i -> (i.name, i.arity)) background;
+  }
+
+let known_names =
+  List.map (fun i -> i.name) input_events
+  @ List.map (fun i -> i.name) input_fluents
+  @ List.map (fun i -> i.name) background
+  @ List.map (fun t -> t.id) thresholds
+  @ area_types @ vessel_types
+  @ [ "true"; "nearPorts"; "farFromPorts"; "below"; "normal"; "above" ]

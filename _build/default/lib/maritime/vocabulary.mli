@@ -1,0 +1,43 @@
+(** The input vocabulary of the maritime domain: the items of the input
+    stream (prompt E), the threshold catalogue (prompt T) and the atemporal
+    background predicates. Natural-language meanings are carried alongside
+    each item because the prompt builders quote them verbatim. *)
+
+type item = { name : string; arity : int; meaning : string }
+
+type threshold = { id : string; value : float; meaning : string }
+
+val input_events : item list
+(** Events derived by the online processing of AIS position signals. *)
+
+val input_fluents : item list
+(** Statically determined fluents computed upstream of RTEC ([proximity]). *)
+
+val background : item list
+(** Atemporal predicates: [vesselType/2], [typeSpeed/4], [areaType/2],
+    [thresholds/2]. *)
+
+val thresholds : threshold list
+val threshold_value : string -> float
+(** Raises [Not_found] for an unknown threshold id. *)
+
+val area_types : string list
+(** Constants naming area types: [fishing], [anchorage], [nearCoast],
+    [nearPorts], [natura]. *)
+
+val vessel_types : string list
+val type_speeds : (string * float * float * float) list
+(** [(vesselType, min, max, average)] sailing speeds in knots. *)
+
+val threshold_facts : Rtec.Term.t list
+(** The [thresholds/2] facts, ready for a {!Rtec.Knowledge.t}. *)
+
+val type_speed_facts : Rtec.Term.t list
+
+val check_vocabulary : Rtec.Check.vocabulary
+(** The vocabulary in the form expected by {!Rtec.Check.check}. *)
+
+val known_names : string list
+(** Every identifier of the domain (events, fluents, predicates, constants,
+    threshold ids); the syntactic corrector maps unknown names onto this
+    list. *)

@@ -1,0 +1,1 @@
+lib/rtec/ast.mli: Term

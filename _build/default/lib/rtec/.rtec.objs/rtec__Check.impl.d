@@ -1,0 +1,1 @@
+lib/rtec/check.ml: Ast Dependency Format Hashtbl List Printer Term

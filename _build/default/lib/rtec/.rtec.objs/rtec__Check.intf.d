@@ -1,0 +1,1 @@
+lib/rtec/check.mli: Ast Format

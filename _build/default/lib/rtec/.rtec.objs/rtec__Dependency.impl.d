@@ -1,0 +1,1 @@
+lib/rtec/dependency.ml: Ast Hashtbl List Map Printf Queue String Term

@@ -1,0 +1,1 @@
+lib/rtec/dependency.mli: Ast

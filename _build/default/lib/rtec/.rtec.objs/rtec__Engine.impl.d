@@ -1,0 +1,1 @@
+lib/rtec/engine.ml: Ast Dependency Float Hashtbl Interval Knowledge List Map Option Printer Printf Result Stream String Subst Term Unify

@@ -1,0 +1,1 @@
+lib/rtec/engine.mli: Ast Interval Knowledge Result Stream Term

@@ -1,0 +1,1 @@
+lib/rtec/interval.mli: Format

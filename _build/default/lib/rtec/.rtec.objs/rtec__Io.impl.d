@@ -1,0 +1,1 @@
+lib/rtec/io.ml: Ast Buffer Interval Knowledge List Parser Printf Stream String Term

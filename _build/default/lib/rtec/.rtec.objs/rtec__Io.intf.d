@@ -1,0 +1,1 @@
+lib/rtec/io.mli: Knowledge Stream

@@ -1,0 +1,1 @@
+lib/rtec/knowledge.ml: Ast List Map Option Parser Printf Subst Term Unify

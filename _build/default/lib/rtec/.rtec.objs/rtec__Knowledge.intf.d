@@ -1,0 +1,1 @@
+lib/rtec/knowledge.mli: Subst Term

@@ -1,0 +1,1 @@
+lib/rtec/lexer.ml: Format List Printf String

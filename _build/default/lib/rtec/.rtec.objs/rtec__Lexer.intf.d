@@ -1,0 +1,1 @@
+lib/rtec/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/rtec/parser.ml: Ast Format Lexer List Printf Result Term

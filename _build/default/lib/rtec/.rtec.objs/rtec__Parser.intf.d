@@ -1,0 +1,1 @@
+lib/rtec/parser.mli: Ast Term

@@ -1,0 +1,1 @@
+lib/rtec/printer.ml: Ast Format Term

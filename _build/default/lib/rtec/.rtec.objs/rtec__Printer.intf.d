@@ -1,0 +1,1 @@
+lib/rtec/printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/rtec/stream.ml: Array Int Interval List Map Option Printf Term

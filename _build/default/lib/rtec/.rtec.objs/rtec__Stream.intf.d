@@ -1,0 +1,1 @@
+lib/rtec/stream.mli: Interval Term

@@ -1,0 +1,1 @@
+lib/rtec/subst.ml: Format List Map String Term

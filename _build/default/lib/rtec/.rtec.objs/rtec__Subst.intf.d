@@ -1,0 +1,1 @@
+lib/rtec/subst.mli: Format Term

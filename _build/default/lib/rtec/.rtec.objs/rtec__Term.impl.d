@@ -1,0 +1,1 @@
+lib/rtec/term.ml: Float Format Hashtbl Int List String

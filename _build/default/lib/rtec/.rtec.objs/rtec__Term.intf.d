@@ -1,0 +1,1 @@
+lib/rtec/term.mli: Format

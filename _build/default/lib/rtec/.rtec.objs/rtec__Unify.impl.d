@@ -1,0 +1,1 @@
+lib/rtec/unify.ml: Float List Option String Subst Term

@@ -1,0 +1,1 @@
+lib/rtec/unify.mli: Subst Term

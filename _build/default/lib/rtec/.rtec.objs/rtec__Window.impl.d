@@ -1,0 +1,1 @@
+lib/rtec/window.ml: Engine Interval List Map Option Result Stream Term

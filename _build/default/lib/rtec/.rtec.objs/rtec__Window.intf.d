@@ -1,0 +1,1 @@
+lib/rtec/window.mli: Ast Engine Knowledge Result Stream

@@ -1,0 +1,63 @@
+type rule = { head : Term.t; body : Term.t list }
+type definition = { name : string; rules : rule list }
+type t = definition list
+
+type kind =
+  | Initiated of { fluent : Term.t; value : Term.t; time : Term.t }
+  | Terminated of { fluent : Term.t; value : Term.t; time : Term.t }
+  | Holds_for of { fluent : Term.t; value : Term.t; interval : Term.t }
+
+let rule head body = { head; body }
+
+let kind_of_rule r =
+  match r.head with
+  | Term.Compound ("initiatedAt", [ fv; time ]) -> (
+    match Term.as_fvp fv with
+    | Some (fluent, value) -> Some (Initiated { fluent; value; time })
+    | None -> None)
+  | Term.Compound ("terminatedAt", [ fv; time ]) -> (
+    match Term.as_fvp fv with
+    | Some (fluent, value) -> Some (Terminated { fluent; value; time })
+    | None -> None)
+  | Term.Compound ("holdsFor", [ fv; interval ]) -> (
+    match Term.as_fvp fv with
+    | Some (fluent, value) -> Some (Holds_for { fluent; value; interval })
+    | None -> None)
+  | _ -> None
+
+let head_indicator r =
+  match kind_of_rule r with
+  | Some (Initiated { fluent; _ } | Terminated { fluent; _ } | Holds_for { fluent; _ }) ->
+    Some (Term.indicator fluent)
+  | None -> None
+
+let all_rules ed = List.concat_map (fun d -> d.rules) ed
+
+let defined_indicators ed =
+  let add acc r =
+    match head_indicator r with
+    | Some ind when not (List.mem ind acc) -> ind :: acc
+    | _ -> acc
+  in
+  List.rev (List.fold_left add [] (all_rules ed))
+
+let definition ed name = List.find_opt (fun d -> String.equal d.name name) ed
+
+let merge a b =
+  let merge_into acc d =
+    match List.partition (fun d' -> String.equal d'.name d.name) acc with
+    | [ existing ], rest -> rest @ [ { existing with rules = existing.rules @ d.rules } ]
+    | _, _ -> acc @ [ d ]
+  in
+  List.fold_left merge_into a b
+
+let body_literal r i =
+  match List.nth_opt r.body i with
+  | Some l -> l
+  | None -> invalid_arg "Ast.body_literal: index out of range"
+
+let map_terms f ed =
+  List.map
+    (fun d ->
+      { d with rules = List.map (fun r -> { head = f r.head; body = List.map f r.body }) d.rules })
+    ed

@@ -1,0 +1,49 @@
+(** Abstract syntax of RTEC event descriptions.
+
+    An event description is a set of {e activity definitions}; each
+    definition is a set of rules with a shared label (the activity name used
+    throughout the paper's evaluation, e.g. ["trawling"]). A rule is a head
+    atom and a list of body literals, all represented as {!Term.t} so that
+    the similarity metric of Section 4 can treat them uniformly as
+    expression trees. *)
+
+type rule = { head : Term.t; body : Term.t list }
+
+type definition = { name : string; rules : rule list }
+(** All rules contributed by one activity (one prompt-G round). *)
+
+type t = definition list
+(** An event description. *)
+
+(** The three rule shapes admitted by Definitions 2.2 and 2.4. *)
+type kind =
+  | Initiated of { fluent : Term.t; value : Term.t; time : Term.t }
+  | Terminated of { fluent : Term.t; value : Term.t; time : Term.t }
+  | Holds_for of { fluent : Term.t; value : Term.t; interval : Term.t }
+
+val rule : Term.t -> Term.t list -> rule
+val kind_of_rule : rule -> kind option
+(** [None] when the head is not an [initiatedAt]/[terminatedAt]/[holdsFor]
+    atom over a fluent-value pair. *)
+
+val head_indicator : rule -> (string * int) option
+(** [(functor, arity)] of the fluent defined by the rule's head. *)
+
+val defined_indicators : t -> (string * int) list
+(** Fluent indicators defined by some rule of the event description,
+    without duplicates. *)
+
+val all_rules : t -> rule list
+val definition : t -> string -> definition option
+(** Look up a definition by activity name. *)
+
+val merge : t -> t -> t
+(** Concatenates two event descriptions, merging same-named definitions. *)
+
+val body_literal : rule -> int -> Term.t
+(** [body_literal r i] is the [i]-th (0-based) body literal. Raises
+    [Invalid_argument] when out of range. *)
+
+val map_terms : (Term.t -> Term.t) -> t -> t
+(** Applies a term transformation to every head and body literal; used by
+    the error models and the syntactic corrector. *)

@@ -1,0 +1,225 @@
+type severity = Warning | Error
+
+type diagnostic = {
+  severity : severity;
+  rule : Ast.rule option;
+  message : string;
+}
+
+type vocabulary = {
+  input_events : (string * int) list;
+  input_fluents : (string * int) list;
+  background : (string * int) list;
+}
+
+let comparison_ops = [ "="; "<"; ">"; ">="; "=<"; "\\=" ]
+let interval_constructs =
+  [ "union_all"; "intersect_all"; "relative_complement_all"; "intDurGreater" ]
+
+let diag severity rule fmt =
+  Format.kasprintf (fun message -> { severity; rule = Some rule; message }) fmt
+
+let global severity fmt =
+  Format.kasprintf (fun message -> { severity; rule = None; message }) fmt
+
+(* --- simple-fluent rules (Definition 2.2) --- *)
+
+let check_simple_rule r ~time acc =
+  let acc =
+    match r.Ast.body with
+    | [] -> diag Error r "simple fluent rule has an empty body" :: acc
+    | first :: _ -> (
+      match first with
+      | Term.Compound ("happensAt", [ _; t ]) ->
+        if Term.equal t time then acc
+        else
+          diag Error r
+            "first body literal is not evaluated on the head time-point" :: acc
+      | _ ->
+        diag Error r
+          "first body literal of a simple fluent rule must be a positive happensAt"
+        :: acc)
+  in
+  let check_literal acc literal =
+    let _, atom = Term.strip_not literal in
+    match atom with
+    | Term.Compound (("happensAt" | "holdsAt"), [ _; t ]) ->
+      if Term.equal t time then acc
+      else
+        diag Warning r "body literal %s is evaluated on a different time-point"
+          (Term.to_string atom)
+        :: acc
+    | Term.Compound ("holdsFor", _) ->
+      diag Error r "holdsFor may not appear in a simple fluent rule body" :: acc
+    | _ -> acc
+  in
+  List.fold_left check_literal acc r.Ast.body
+
+(* --- statically determined rules (Definition 2.4) --- *)
+
+let as_interval_var t = match t with Term.Var v -> Some v | _ -> None
+
+let check_sd_rule r ~fluent ~value ~interval acc =
+  match as_interval_var interval with
+  | None -> diag Error r "head interval argument must be a variable" :: acc
+  | Some out_var ->
+    let head_fvp = (Term.indicator fluent, value) in
+    let acc =
+      match r.Ast.body with
+      | Term.Compound ("holdsFor", [ fv; _ ]) :: _ -> (
+        match Term.as_fvp fv with
+        | Some (f', v') when (Term.indicator f', v') = head_fvp ->
+          diag Error r
+            "first body literal must concern an FVP other than the head FVP"
+          :: acc
+        | Some _ -> acc
+        | None -> diag Error r "holdsFor argument is not a fluent-value pair" :: acc)
+      | _ ->
+        diag Error r
+          "first body literal of a statically determined rule must be holdsFor"
+        :: acc
+    in
+    let bound = Hashtbl.create 8 in
+    let require_bound acc t =
+      match as_interval_var t with
+      | Some v when Hashtbl.mem bound v -> acc
+      | Some v -> diag Error r "interval variable %s used before being bound" v :: acc
+      | None -> diag Error r "expected an interval variable, found %s" (Term.to_string t) :: acc
+    in
+    let bind acc t =
+      match as_interval_var t with
+      | Some v when Hashtbl.mem bound v ->
+        diag Error r "interval variable %s is bound twice" v :: acc
+      | Some v ->
+        Hashtbl.replace bound v ();
+        acc
+      | None ->
+        diag Error r "output of an interval operation must be a fresh variable" :: acc
+    in
+    let check_literal acc literal =
+      match literal with
+      | Term.Compound ("holdsFor", [ _; i ]) -> bind acc i
+      | Term.Compound (("union_all" | "intersect_all"), [ operands; out ]) -> (
+        match Term.as_list operands with
+        | Some elems ->
+          let acc = List.fold_left require_bound acc elems in
+          bind acc out
+        | None ->
+          diag Error r "interval construct expects a list of interval variables" :: acc)
+      | Term.Compound ("relative_complement_all", [ i; operands; out ]) -> (
+        let acc = require_bound acc i in
+        match Term.as_list operands with
+        | Some elems ->
+          let acc = List.fold_left require_bound acc elems in
+          bind acc out
+        | None ->
+          diag Error r "relative_complement_all expects a list of interval variables" :: acc)
+      | Term.Compound ("intDurGreater", [ i; threshold; out ]) ->
+        let acc = require_bound acc i in
+        let acc =
+          match threshold with
+          | Term.Int _ | Term.Real _ -> acc
+          | _ -> diag Error r "intDurGreater expects a numeric threshold" :: acc
+        in
+        bind acc out
+      | _ ->
+        diag Error r
+          "statically determined rule bodies may contain only holdsFor literals and interval constructs (found %s)"
+          (Term.to_string literal)
+        :: acc
+    in
+    let acc = List.fold_left check_literal acc r.Ast.body in
+    if Hashtbl.mem bound out_var then acc
+    else diag Error r "head interval variable %s is never produced by the body" out_var :: acc
+
+(* --- vocabulary checks (Section 5.2, error category 3) --- *)
+
+let check_vocabulary (voc : vocabulary) (deps : Dependency.t) (ed : Ast.t) acc =
+  let defined = Ast.defined_indicators ed in
+  let check_rule acc (r : Ast.rule) =
+    let check_literal acc literal =
+      let _, atom = Term.strip_not literal in
+      match atom with
+      | Term.Compound ("happensAt", [ e; _ ]) ->
+        let ind = Term.indicator e in
+        if List.mem ind voc.input_events then acc
+        else diag Error r "reference to undefined input event %s/%d" (fst ind) (snd ind) :: acc
+      | Term.Compound (("holdsAt" | "holdsFor"), [ fv; _ ]) -> (
+        match Term.as_fvp fv with
+        | Some (f, _) ->
+          let ind = Term.indicator f in
+          if List.mem ind defined || List.mem ind voc.input_fluents then acc
+          else
+            diag Error r "reference to undefined activity %s/%d" (fst ind) (snd ind) :: acc
+        | None -> acc)
+      | Term.Compound (op, [ _; _ ]) when List.mem op comparison_ops -> acc
+      | Term.Compound (op, _) when List.mem op interval_constructs -> acc
+      | _ ->
+        let ind = Term.indicator atom in
+        if List.mem ind voc.background then acc
+        else
+          diag Warning r "unknown background predicate %s/%d" (fst ind) (snd ind) :: acc
+    in
+    List.fold_left check_literal acc r.body
+  in
+  ignore deps;
+  List.fold_left check_rule acc (Ast.all_rules ed)
+
+let check ?vocabulary (ed : Ast.t) =
+  let deps = Dependency.analyse ed in
+  let acc = [] in
+  let acc =
+    List.fold_left
+      (fun acc (info : Dependency.info) ->
+        if info.fluent_class = Dependency.Mixed then
+          global Error
+            "fluent %s/%d is defined both as simple and as statically determined"
+            (fst info.indicator) (snd info.indicator)
+          :: acc
+        else acc)
+      acc (Dependency.all deps)
+  in
+  let acc =
+    match Dependency.evaluation_order deps with
+    | Ok _ -> acc
+    | Error msg -> global Error "%s" msg :: acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (r : Ast.rule) ->
+        match Ast.kind_of_rule r with
+        | None -> (
+          (* initially(F=V) facts declare initial fluent values. *)
+          match r.head with
+          | Term.Compound ("initially", [ fv ]) -> (
+            match Term.as_fvp fv with
+            | Some (f, v) when r.body = [] && Term.is_ground f && Term.is_ground v -> acc
+            | Some _ ->
+              diag Error r "initially declarations must be ground facts" :: acc
+            | None ->
+              diag Error r "initially expects a fluent-value pair" :: acc)
+          | _ ->
+            diag Error r
+              "head must be initiatedAt/terminatedAt/holdsFor over a fluent-value pair"
+            :: acc)
+        | Some (Ast.Initiated { time; _ } | Ast.Terminated { time; _ }) ->
+          check_simple_rule r ~time acc
+        | Some (Ast.Holds_for { fluent; value; interval }) ->
+          check_sd_rule r ~fluent ~value ~interval acc)
+      acc (Ast.all_rules ed)
+  in
+  let acc =
+    match vocabulary with
+    | None -> acc
+    | Some voc -> check_vocabulary voc deps ed acc
+  in
+  List.rev acc
+
+let usable ?vocabulary ed =
+  not (List.exists (fun d -> d.severity = Error) (check ?vocabulary ed))
+
+let pp_diagnostic ppf d =
+  let sev = match d.severity with Warning -> "warning" | Error -> "error" in
+  match d.rule with
+  | None -> Format.fprintf ppf "%s: %s" sev d.message
+  | Some r -> Format.fprintf ppf "%s: %s@ in rule: %s" sev d.message (Printer.rule_to_string r)

@@ -1,0 +1,33 @@
+(** Well-formedness checking of event descriptions against Definitions 2.2
+    and 2.4 of the paper, plus detection of the LLM error categories of
+    Section 5.2 (undefined activities, mixed fluent kinds). *)
+
+type severity = Warning | Error
+
+type diagnostic = {
+  severity : severity;
+  rule : Ast.rule option;
+  message : string;
+}
+
+type vocabulary = {
+  input_events : (string * int) list;
+  input_fluents : (string * int) list;
+  background : (string * int) list;
+      (** atemporal predicates usable as body conditions, e.g. [areaType/2] *)
+}
+
+val check : ?vocabulary:vocabulary -> Ast.t -> diagnostic list
+(** Diagnoses, per rule: head shape; first-literal discipline (positive
+    [happensAt] for simple rules, [holdsFor] of a different FVP for
+    statically determined rules); single shared time variable in simple
+    rules; interval-construct dataflow (operands bound earlier, output
+    bound exactly once, head interval produced); and, when a [vocabulary]
+    is supplied, references to events/fluents/predicates that are neither
+    defined nor part of the input. *)
+
+val usable : ?vocabulary:vocabulary -> Ast.t -> bool
+(** [true] when [check] reports no [Error]-severity diagnostic, i.e. the
+    event description can be supplied to the engine. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit

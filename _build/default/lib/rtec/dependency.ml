@@ -1,0 +1,112 @@
+type fluent_class = Simple | Statically_determined | Mixed
+
+type info = {
+  indicator : string * int;
+  fluent_class : fluent_class;
+  rules : Ast.rule list;
+  depends_on : (string * int) list;
+}
+
+module M = Map.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+type t = { infos : info M.t; referenced : (string * int) list }
+
+(* Fluent indicators referenced by a body literal. *)
+let referenced_fluents literal =
+  let _, atom = Term.strip_not literal in
+  match atom with
+  | Term.Compound (("holdsAt" | "holdsFor"), [ fv; _ ]) -> (
+    match Term.as_fvp fv with
+    | Some (fluent, _) -> [ Term.indicator fluent ]
+    | None -> [])
+  | _ -> []
+
+let referenced_events literal =
+  let _, atom = Term.strip_not literal in
+  match atom with
+  | Term.Compound ("happensAt", [ event; _ ]) -> [ Term.indicator event ]
+  | _ -> []
+
+let class_of_rule r =
+  match Ast.kind_of_rule r with
+  | Some (Ast.Initiated _ | Ast.Terminated _) -> Some Simple
+  | Some (Ast.Holds_for _) -> Some Statically_determined
+  | None -> None
+
+let analyse (ed : Ast.t) =
+  let add_rule infos r =
+    match (Ast.head_indicator r, class_of_rule r) with
+    | Some ind, Some cls ->
+      let deps = List.concat_map referenced_fluents r.Ast.body in
+      let entry =
+        match M.find_opt ind infos with
+        | None -> { indicator = ind; fluent_class = cls; rules = [ r ]; depends_on = deps }
+        | Some e ->
+          let fluent_class = if e.fluent_class = cls then cls else Mixed in
+          { e with fluent_class; rules = e.rules @ [ r ]; depends_on = e.depends_on @ deps }
+      in
+      M.add ind entry infos
+    | _ -> infos
+  in
+  let infos = List.fold_left add_rule M.empty (Ast.all_rules ed) in
+  let infos =
+    M.map
+      (fun e -> { e with depends_on = List.sort_uniq compare e.depends_on })
+      infos
+  in
+  let referenced =
+    Ast.all_rules ed
+    |> List.concat_map (fun (r : Ast.rule) ->
+           List.concat_map
+             (fun l -> referenced_fluents l @ referenced_events l)
+             r.body)
+    |> List.sort_uniq compare
+  in
+  { infos; referenced }
+
+let info t ind = M.find_opt ind t.infos
+let all t = List.map snd (M.bindings t.infos)
+
+let evaluation_order t =
+  (* Kahn's algorithm over the defined-fluent graph; external references do
+     not constrain the order. *)
+  let defined ind = M.mem ind t.infos in
+  let deps ind =
+    match M.find_opt ind t.infos with
+    | None -> []
+    | Some e -> List.filter defined e.depends_on
+  in
+  let nodes = List.map fst (M.bindings t.infos) in
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_degree n (List.length (deps n))) nodes;
+  let queue = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find in_degree n = 0 then Queue.add n queue) nodes;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    order := n :: !order;
+    (* Decrement the in-degree of every node depending on [n]. *)
+    List.iter
+      (fun m ->
+        if List.mem n (deps m) then begin
+          let d = Hashtbl.find in_degree m - 1 in
+          Hashtbl.replace in_degree m d;
+          if d = 0 then Queue.add m queue
+        end)
+      nodes
+  done;
+  if List.length !order = List.length nodes then Ok (List.rev !order)
+  else
+    let stuck =
+      List.filter (fun n -> Hashtbl.find in_degree n > 0) nodes
+      |> List.map (fun (f, a) -> Printf.sprintf "%s/%d" f a)
+      |> String.concat ", "
+    in
+    Error (Printf.sprintf "cyclic fluent dependencies involving: %s" stuck)
+
+let external_indicators t =
+  List.filter (fun ind -> not (M.mem ind t.infos)) t.referenced

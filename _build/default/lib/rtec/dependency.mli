@@ -1,0 +1,35 @@
+(** Fluent dependency analysis.
+
+    RTEC evaluates hierarchical event descriptions bottom-up: the maximal
+    intervals of a fluent-value pair are computed (and cached) before any
+    fluent whose definition refers to it. This module classifies each
+    defined fluent as simple or statically determined, builds the
+    dependency graph and produces the evaluation order. *)
+
+type fluent_class = Simple | Statically_determined | Mixed
+(** [Mixed] flags a fluent defined with both rule shapes — invalid RTEC,
+    one of the LLM error categories of Section 5.2. *)
+
+type info = {
+  indicator : string * int;
+  fluent_class : fluent_class;
+  rules : Ast.rule list;
+  depends_on : (string * int) list;
+      (** defined-fluent indicators appearing in [holdsAt]/[holdsFor] body
+          literals of the rules *)
+}
+
+type t
+
+val analyse : Ast.t -> t
+val info : t -> string * int -> info option
+val all : t -> info list
+
+val evaluation_order : t -> ((string * int) list, string) result
+(** Topological order of the defined fluents; [Error cycle] describes a
+    dependency cycle. *)
+
+val external_indicators : t -> (string * int) list
+(** Indicators referenced in bodies ([happensAt] events, [holdsAt]/
+    [holdsFor] fluents) but not defined by the event description: input
+    events, input fluents — or undefined activities (error category 3). *)

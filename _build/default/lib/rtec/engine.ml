@@ -1,0 +1,468 @@
+type fvp = Term.t * Term.t
+type result = (fvp * Interval.t) list
+
+module Cache = struct
+  (* Maximal intervals of every ground FVP computed so far, grouped by the
+     indicator of the fluent term: the engine's bottom-up cache. *)
+  type t = (string * int, (fvp * Interval.t) list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let entries (t : t) ind =
+    match Hashtbl.find_opt t ind with None -> [] | Some r -> !r
+
+  let add (t : t) ((fluent, _) as fv) spans =
+    let ind = Term.indicator fluent in
+    match Hashtbl.find_opt t ind with
+    | None -> Hashtbl.replace t ind (ref [ (fv, spans) ])
+    | Some r -> r := (fv, spans) :: !r
+
+  let lookup (t : t) ((fluent, value) : fvp) =
+    entries t (Term.indicator fluent)
+    |> List.find_opt (fun ((f, v), _) -> Term.equal f fluent && Term.equal v value)
+    |> Option.map snd
+
+  let to_result (t : t) =
+    Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t []
+end
+
+type env = {
+  stream : Stream.t;
+  knowledge : Knowledge.t;
+  cache : Cache.t;
+  from : int;
+  until : int;
+}
+
+(* --- arithmetic and comparisons --- *)
+
+let rec eval_num subst t =
+  match Subst.apply subst t with
+  | Term.Int n -> Some (float_of_int n)
+  | Term.Real r -> Some r
+  | Term.Compound (("+" | "-" | "*" | "/") as op, [ a; b ]) -> (
+    match (eval_num subst a, eval_num subst b) with
+    | Some x, Some y -> (
+      match op with
+      | "+" -> Some (x +. y)
+      | "-" -> Some (x -. y)
+      | "*" -> Some (x *. y)
+      | _ -> if y = 0. then None else Some (x /. y))
+    | _ -> None)
+  | _ -> None
+
+let compare_solutions op subst a b =
+  match op with
+  | "=" -> (
+    (* [=] doubles as unification, as in Prolog. *)
+    match Unify.unify ~subst (Subst.apply subst a) (Subst.apply subst b) with
+    | Some s -> [ s ]
+    | None -> [])
+  | _ -> (
+    match (eval_num subst a, eval_num subst b) with
+    | Some x, Some y ->
+      let holds =
+        match op with
+        | "<" -> x < y
+        | ">" -> x > y
+        | ">=" -> x >= y
+        | "=<" -> x <= y
+        | "\\=" -> not (Float.equal x y)
+        | _ -> false
+      in
+      if holds then [ subst ] else []
+    | _ -> [])
+
+(* --- body evaluation for simple-fluent rules --- *)
+
+let happens_solutions env subst event time =
+  let event = Subst.apply subst event in
+  if Term.is_var event then []
+  else
+    let functor_ = Term.indicator event in
+    let candidates =
+      match Subst.apply subst time with
+      | Term.Int t ->
+        if t < env.from || t > env.until then []
+        else Stream.events_at env.stream ~functor_ ~time:t
+      | Term.Var _ -> Stream.events_in env.stream ~functor_ ~from:env.from ~until:env.until
+      | _ -> []
+    in
+    List.filter_map
+      (fun (e : Stream.event) ->
+        match Unify.unify ~subst event e.term with
+        | None -> None
+        | Some s -> Unify.unify ~subst:s time (Term.Int e.time))
+      candidates
+
+let holds_at_solutions env subst fv time =
+  match Subst.apply subst time with
+  | Term.Int t -> (
+    match Term.as_fvp (Subst.apply subst fv) with
+    | None -> []
+    | Some (fluent, value) ->
+      if Term.is_var fluent then []
+      else
+        Cache.entries env.cache (Term.indicator fluent)
+        |> List.filter_map (fun ((f, v), spans) ->
+               if Interval.mem t spans then
+                 match Unify.unify ~subst fluent f with
+                 | None -> None
+                 | Some s -> Unify.unify ~subst:s value v
+               else None))
+  | _ -> []
+
+let rec literal_solutions env subst literal =
+  let positive, atom = Term.strip_not literal in
+  let positives =
+    match atom with
+    | Term.Compound ("happensAt", [ event; time ]) -> happens_solutions env subst event time
+    | Term.Compound ("holdsAt", [ fv; time ]) -> holds_at_solutions env subst fv time
+    | Term.Compound (("<" | ">" | ">=" | "=<" | "\\=" | "=") as op, [ a; b ]) ->
+      compare_solutions op subst a b
+    | _ -> Knowledge.solve env.knowledge subst atom
+  in
+  if positive then positives
+  else if positives = [] then [ subst ]
+  else []
+
+and body_solutions env subst = function
+  | [] -> [ subst ]
+  | literal :: rest ->
+    literal_solutions env subst literal
+    |> List.concat_map (fun s -> body_solutions env s rest)
+
+(* Evaluate one initiatedAt/terminatedAt rule, returning the (fvp,
+   time-point) pairs it derives within the window. Initiations must be
+   ground (they create FVP instances); terminations may retain variables —
+   e.g. rule (3) of the paper terminates withinArea(Vl, AreaType) for every
+   AreaType on a communication gap — and then act as patterns terminating
+   every matching instance. *)
+let transition_points env (r : Ast.rule) ~fluent ~value ~time ~require_ground =
+  body_solutions env Subst.empty r.Ast.body
+  |> List.filter_map (fun s ->
+         let f = Subst.apply s fluent and v = Subst.apply s value in
+         match Subst.apply s time with
+         | Term.Int t when (not require_ground) || (Term.is_ground f && Term.is_ground v) ->
+           Some ((f, v), t)
+         | _ -> None)
+
+(* --- statically determined fluents --- *)
+
+module Imap = Map.Make (String)
+
+(* Solutions to a holdsFor body literal: extended substitution plus the
+   interval list bound to the literal's interval variable. A ground FVP
+   with no cached intervals binds the empty list, so that e.g. a union over
+   the values of a multi-valued fluent still succeeds when some value never
+   held (RTEC's semantics). *)
+let holds_for_solutions env subst (fluent, value) =
+  let fluent = Subst.apply subst fluent and value = Subst.apply subst value in
+  let with_value subst fluent =
+    if Term.is_ground value then
+      let spans =
+        Option.value ~default:Interval.empty (Cache.lookup env.cache (fluent, value))
+      in
+      [ (subst, spans) ]
+    else
+      Cache.entries env.cache (Term.indicator fluent)
+      |> List.filter_map (fun ((f, v), spans) ->
+             if Term.equal f fluent then
+               Unify.unify ~subst value v |> Option.map (fun s -> (s, spans))
+             else None)
+  in
+  if Term.is_var fluent then []
+  else if Term.is_ground fluent then with_value subst fluent
+  else
+    (* Enumerate the known groundings of the fluent schema, whatever their
+       value, then resolve the requested value against each grounding. *)
+    Cache.entries env.cache (Term.indicator fluent)
+    |> List.map (fun ((f, _), _) -> f)
+    |> List.sort_uniq Term.compare
+    |> List.concat_map (fun f ->
+           match Unify.unify ~subst fluent f with
+           | None -> []
+           | Some s -> with_value s (Subst.apply s fluent))
+
+let operand_spans r imap t =
+  match t with
+  | Term.Var v -> (
+    match Imap.find_opt v imap with
+    | Some spans -> Ok spans
+    | None ->
+      Result.Error
+        (Printf.sprintf "rule %s: interval variable %s is unbound"
+           (Printer.rule_to_string r) v))
+  | _ ->
+    Result.Error
+      (Printf.sprintf "rule %s: expected an interval variable" (Printer.rule_to_string r))
+
+let rec collect_operands r imap = function
+  | [] -> Ok []
+  | t :: rest ->
+    Result.bind (operand_spans r imap t) (fun spans ->
+        Result.bind (collect_operands r imap rest) (fun more -> Ok (spans :: more)))
+
+let bind_interval r imap out spans =
+  match out with
+  | Term.Var v when not (Imap.mem v imap) -> Ok (Imap.add v spans imap)
+  | Term.Var v -> Result.Error (Printf.sprintf "rule %s: %s bound twice" (Printer.rule_to_string r) v)
+  | _ -> Result.Error (Printf.sprintf "rule %s: interval output must be a variable" (Printer.rule_to_string r))
+
+(* Evaluate the body of a holdsFor rule; each solution carries the final
+   substitution and interval-variable environment. Interval-construct
+   errors abort the whole evaluation (they indicate an ill-formed rule). *)
+let rec sd_solutions env r subst imap = function
+  | [] -> Ok [ (subst, imap) ]
+  | Term.Compound ("holdsFor", [ fv; ivar ]) :: rest -> (
+    match Term.as_fvp (Subst.apply subst fv) with
+    | None ->
+      Result.Error
+        (Printf.sprintf "rule %s: holdsFor argument is not an FVP" (Printer.rule_to_string r))
+    | Some fvp ->
+      let branches = holds_for_solutions env subst fvp in
+      let rec go acc = function
+        | [] -> Ok (List.concat (List.rev acc))
+        | (s, spans) :: more -> (
+          match bind_interval r imap ivar spans with
+          | Result.Error e -> Result.Error e
+          | Ok imap' -> (
+            match sd_solutions env r s imap' rest with
+            | Result.Error e -> Result.Error e
+            | Ok sols -> go (sols :: acc) more))
+      in
+      go [] branches)
+  | Term.Compound (("union_all" | "intersect_all") as op, [ operands; out ]) :: rest -> (
+    match Term.as_list operands with
+    | None ->
+      Result.Error
+        (Printf.sprintf "rule %s: %s expects a list" (Printer.rule_to_string r) op)
+    | Some elems ->
+      Result.bind (collect_operands r imap elems) (fun lists ->
+          let spans =
+            if String.equal op "union_all" then Interval.union_all lists
+            else Interval.intersect_all lists
+          in
+          Result.bind (bind_interval r imap out spans) (fun imap' ->
+              sd_solutions env r subst imap' rest)))
+  | Term.Compound ("relative_complement_all", [ i; operands; out ]) :: rest -> (
+    match Term.as_list operands with
+    | None ->
+      Result.Error
+        (Printf.sprintf "rule %s: relative_complement_all expects a list"
+           (Printer.rule_to_string r))
+    | Some elems ->
+      Result.bind (operand_spans r imap i) (fun base ->
+          Result.bind (collect_operands r imap elems) (fun lists ->
+              let spans = Interval.relative_complement_all base lists in
+              Result.bind (bind_interval r imap out spans) (fun imap' ->
+                  sd_solutions env r subst imap' rest))))
+  | Term.Compound ("intDurGreater", [ i; threshold; out ]) :: rest -> (
+    let min_duration =
+      match threshold with
+      | Term.Int n -> Some n
+      | Term.Real x -> Some (int_of_float x)
+      | _ -> None
+    in
+    match min_duration with
+    | None ->
+      Result.Error
+        (Printf.sprintf "rule %s: intDurGreater expects a numeric threshold"
+           (Printer.rule_to_string r))
+    | Some min_duration ->
+      Result.bind (operand_spans r imap i) (fun base ->
+          let spans = Interval.filter_duration ~min_duration base in
+          Result.bind (bind_interval r imap out spans) (fun imap' ->
+              sd_solutions env r subst imap' rest)))
+  | literal :: _ ->
+    Result.Error
+      (Printf.sprintf "rule %s: literal %s is not allowed in a holdsFor body"
+         (Printer.rule_to_string r) (Term.to_string literal))
+
+(* --- fluent evaluation --- *)
+
+module FvpMap = Map.Make (struct
+  type t = fvp
+
+  let compare (f1, v1) (f2, v2) =
+    let c = Term.compare f1 f2 in
+    if c <> 0 then c else Term.compare v1 v2
+end)
+
+let evaluate_simple env ~carry (rules : Ast.rule list) =
+  let inits = ref FvpMap.empty and terms = ref FvpMap.empty in
+  let term_patterns = ref [] in
+  let record store (fv, t) =
+    store := FvpMap.update fv (fun o -> Some (t :: Option.value ~default:[] o)) !store
+  in
+  List.iter
+    (fun r ->
+      match Ast.kind_of_rule r with
+      | Some (Ast.Initiated { fluent; value; time }) ->
+        List.iter (record inits)
+          (transition_points env r ~fluent ~value ~time ~require_ground:true)
+      | Some (Ast.Terminated { fluent; value; time }) ->
+        List.iter
+          (fun (((f, v) as fv), t) ->
+            if Term.is_ground f && Term.is_ground v then record terms (fv, t)
+            else term_patterns := (fv, t) :: !term_patterns)
+          (transition_points env r ~fluent ~value ~time ~require_ground:false)
+      | _ -> ())
+    rules;
+  (* FVPs of this fluent holding at the window start persist by inertia:
+     seed an initiation just before the window. *)
+  List.iter (fun fv -> record inits (fv, env.from - 1)) carry;
+  (* The initiation of a different value of the same fluent terminates the
+     current value (a fluent has at most one value at a time). *)
+  let compare_fvp (f1, v1) (f2, v2) =
+    let c = Term.compare f1 f2 in
+    if c <> 0 then c else Term.compare v1 v2
+  in
+  let all_fvps =
+    FvpMap.fold (fun fv _ acc -> fv :: acc) !inits []
+    @ FvpMap.fold (fun fv _ acc -> fv :: acc) !terms []
+    |> List.sort_uniq compare_fvp
+  in
+  List.iter
+    (fun ((fluent, value) as fv) ->
+      let starts = Option.value ~default:[] (FvpMap.find_opt fv !inits) in
+      if starts <> [] then begin
+        let stops = Option.value ~default:[] (FvpMap.find_opt fv !terms) in
+        let stops =
+          (* Non-ground termination patterns apply to every matching
+             ground instance. *)
+          List.fold_left
+            (fun acc ((pf, pv), t) ->
+              match Unify.unify pf fluent with
+              | Some s when Option.is_some (Unify.unify ~subst:s pv value) -> t :: acc
+              | _ -> acc)
+            stops !term_patterns
+        in
+        let other_value_inits =
+          FvpMap.fold
+            (fun (f, v) ts acc ->
+              if Term.equal f fluent && not (Term.equal v value) then ts @ acc else acc)
+            !inits []
+        in
+        let spans = Interval.from_points ~starts ~stops:(stops @ other_value_inits) in
+        if not (Interval.is_empty spans) then Cache.add env.cache fv spans
+      end)
+    all_fvps
+
+let evaluate_sd env (rules : Ast.rule list) =
+  let results = ref FvpMap.empty in
+  let skipped = ref [] in
+  List.iter
+    (fun (r : Ast.rule) ->
+        match Ast.kind_of_rule r with
+        | Some (Ast.Holds_for { fluent; value; interval }) -> (
+          match sd_solutions env r Subst.empty Imap.empty r.body with
+          | Result.Error e ->
+            (* An ill-formed rule contributes nothing (the definition is
+               "unusable in practice", Section 5.2) but does not abort the
+               rest of the event description. *)
+            skipped := e :: !skipped
+          | Ok sols ->
+            List.iter
+              (fun (s, imap) ->
+                let f = Subst.apply s fluent and v = Subst.apply s value in
+                match interval with
+                | Term.Var iv when Term.is_ground f && Term.is_ground v -> (
+                  match Imap.find_opt iv imap with
+                  | Some spans when not (Interval.is_empty spans) ->
+                    results :=
+                      FvpMap.update (f, v)
+                        (fun o ->
+                          Some (Interval.union spans (Option.value ~default:Interval.empty o)))
+                        !results
+                  | _ -> ())
+                | _ -> ())
+              sols)
+        | _ -> ())
+    rules;
+  FvpMap.iter (fun fv spans -> Cache.add env.cache fv spans) !results;
+  Ok (List.rev !skipped)
+
+(* initially(F=V) facts in the event description seed the law of inertia:
+   the FVP holds from the very start of the stream. *)
+let initial_fvps event_description =
+  List.filter_map
+    (fun (r : Ast.rule) ->
+      match r.head with
+      | Term.Compound ("initially", [ fv ]) when r.body = [] -> (
+        match Term.as_fvp fv with
+        | Some (f, v) when Term.is_ground f && Term.is_ground v -> Some (f, v)
+        | _ -> None)
+      | _ -> None)
+    (Ast.all_rules event_description)
+
+let run ?(carry = []) ~event_description ~knowledge ~stream ~from ~until () =
+  let deps = Dependency.analyse event_description in
+  match Dependency.evaluation_order deps with
+  | Error e -> Result.Error e
+  | Ok order ->
+    let lo, _ = Stream.extent stream in
+    let carry =
+      (* [initially] declarations only apply when the window reaches back
+         to the start of the stream; afterwards the carry list carries
+         their effect forward. *)
+      if from <= lo then carry @ initial_fvps event_description else carry
+    in
+    let cache = Cache.create () in
+    (* Input statically determined fluents are available from the start,
+       restricted to the window. *)
+    List.iter
+      (fun (fv, spans) ->
+        let spans = Interval.clamp (from + 1) Interval.infinity spans in
+        if not (Interval.is_empty spans) then Cache.add cache fv spans)
+      (Stream.input_fluents stream);
+    let env = { stream; knowledge; cache; from; until } in
+    let rec evaluate = function
+      | [] -> Ok ()
+      | ind :: rest -> (
+        match Dependency.info deps ind with
+        | None -> evaluate rest
+        | Some info -> (
+          match info.fluent_class with
+          | Dependency.Mixed ->
+            Result.Error
+              (Printf.sprintf "fluent %s/%d mixes simple and statically determined rules"
+                 (fst ind) (snd ind))
+          | Dependency.Simple ->
+            let carry_here =
+              List.filter
+                (fun (f, _) -> Term.indicator f = ind)
+                carry
+            in
+            evaluate_simple env ~carry:carry_here info.rules;
+            evaluate rest
+          | Dependency.Statically_determined -> (
+            match evaluate_sd env info.rules with
+            | Result.Error e -> Result.Error e
+            | Ok _skipped -> evaluate rest)))
+    in
+    Result.map (fun () -> Cache.to_result cache) (evaluate order)
+
+let holds_at result fv t =
+  match List.find_opt (fun ((f, v), _) -> Term.equal f (fst fv) && Term.equal v (snd fv)) result with
+  | Some (_, spans) -> Interval.mem t spans
+  | None -> false
+
+let intervals result fv =
+  match List.find_opt (fun ((f, v), _) -> Term.equal f (fst fv) && Term.equal v (snd fv)) result with
+  | Some (_, spans) -> spans
+  | None -> Interval.empty
+
+let find_fluent result ind =
+  List.filter (fun ((f, _), _) -> Term.indicator f = ind) result
+
+let query result pattern =
+  match Term.as_fvp pattern with
+  | None -> []
+  | Some (pf, pv) ->
+    List.filter
+      (fun ((f, v), _) ->
+        match Unify.unify pf f with
+        | None -> false
+        | Some s -> Option.is_some (Unify.unify ~subst:s pv v))
+      result

@@ -1,0 +1,42 @@
+(** The RTEC reasoning engine.
+
+    Computes, bottom-up over the fluent hierarchy, the maximal intervals of
+    every defined fluent-value pair from a window of the input stream
+    (Section 2, "Reasoning"). Simple fluents follow the law of inertia:
+    initiation points are matched with the first subsequent termination
+    point, where the initiation of a different value of the same fluent
+    also acts as a termination. Statically determined fluents are computed
+    by interval manipulation over the cached intervals of lower-level
+    fluents. *)
+
+type fvp = Term.t * Term.t
+(** A ground fluent-value pair. *)
+
+type result = (fvp * Interval.t) list
+
+val run :
+  ?carry:fvp list ->
+  event_description:Ast.t ->
+  knowledge:Knowledge.t ->
+  stream:Stream.t ->
+  from:int ->
+  until:int ->
+  unit ->
+  (result, string) Result.t
+(** Evaluates the event description over the events with
+    [from <= time <= until]. [carry] lists the FVPs that held at the window
+    start according to the previous query (RTEC's interval amalgamation);
+    they are treated as initiated just before [from]. When the window
+    reaches the start of the stream, ground [initially(F=V)] facts of the
+    event description are added to the carry. Fails when the description
+    is not stratified or a fluent mixes rule kinds. *)
+
+val holds_at : result -> fvp -> int -> bool
+val intervals : result -> fvp -> Interval.t
+val find_fluent : result -> string * int -> (fvp * Interval.t) list
+(** All computed instances of a fluent indicator. *)
+
+val query : result -> Term.t -> (fvp * Interval.t) list
+(** [query result pattern] returns the instances whose FVP unifies with
+    the (possibly non-ground) pattern, e.g.
+    [withinArea(Vessel, fishing) = true]. *)

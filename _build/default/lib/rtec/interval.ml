@@ -1,0 +1,116 @@
+type span = { start : int; stop : int }
+type t = span list
+
+let infinity = max_int
+
+let make s e =
+  if e <= s then invalid_arg "Interval.make: empty span" else { start = s; stop = e }
+
+let empty = []
+let is_empty i = i = []
+
+let of_list pairs =
+  let pairs = List.filter (fun (s, e) -> e > s) pairs in
+  let pairs = List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) pairs in
+  let rec merge = function
+    | [] -> []
+    | [ (s, e) ] -> [ { start = s; stop = e } ]
+    | (s1, e1) :: (s2, e2) :: rest ->
+      if s2 <= e1 then merge ((s1, max e1 e2) :: rest)
+      else { start = s1; stop = e1 } :: merge ((s2, e2) :: rest)
+  in
+  merge pairs
+
+let to_list i = List.map (fun { start; stop } -> (start, stop)) i
+let equal a b = a = b
+let mem t i = List.exists (fun { start; stop } -> start <= t && t < stop) i
+
+let duration i =
+  List.fold_left
+    (fun acc { start; stop } ->
+      if stop = infinity then infinity else acc + (stop - start))
+    0 i
+
+let clamp lo hi i =
+  List.filter_map
+    (fun { start; stop } ->
+      let s = max lo start and e = min hi stop in
+      if e > s then Some (s, e) else None)
+    i
+  |> of_list
+
+let union a b = of_list (to_list a @ to_list b)
+
+let inter a b =
+  (* Linear sweep over the two normalised lists. *)
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: a', y :: b' ->
+      let s = max x.start y.start and e = min x.stop y.stop in
+      let acc = if e > s then { start = s; stop = e } :: acc else acc in
+      if x.stop <= y.stop then go acc a' b else go acc a b'
+  in
+  go [] a b
+
+let diff a b =
+  (* Subtract each span of [b] from the spans of [a]. *)
+  let subtract_span spans y =
+    List.concat_map
+      (fun x ->
+        if y.stop <= x.start || x.stop <= y.start then [ x ]
+        else
+          let left = if y.start > x.start then [ { start = x.start; stop = y.start } ] else [] in
+          let right = if y.stop < x.stop then [ { start = y.stop; stop = x.stop } ] else [] in
+          left @ right)
+      spans
+  in
+  List.fold_left subtract_span a b
+
+let union_all lists = of_list (List.concat_map to_list lists)
+
+let intersect_all = function
+  | [] -> []
+  | first :: rest -> List.fold_left inter first rest
+
+let relative_complement_all i lists = diff i (union_all lists)
+
+let filter_duration ~min_duration i =
+  List.filter
+    (fun { start; stop } -> stop = infinity || stop - start > min_duration)
+    i
+
+let from_points ~starts ~stops =
+  let starts = List.sort_uniq Int.compare starts in
+  let stops = List.sort_uniq Int.compare stops in
+  (* Walk initiations in order; for each initiation not already covered,
+     find the first termination strictly after it (an initiation at Ts
+     makes the fluent hold from Ts + 1 even when a termination also occurs
+     at Ts — canonical Event Calculus inertia). A termination at Te closes
+     the interval at Te + 1: the fluent still holds at Te. A re-initiation
+     exactly at Te starts a new period, which amalgamates with the closing
+     one. *)
+  let rec go acc starts stops =
+    match starts with
+    | [] -> List.rev acc
+    | ts :: starts' -> (
+      match List.find_opt (fun te -> te > ts) stops with
+      | None -> List.rev ({ start = ts + 1; stop = infinity } :: acc)
+      | Some te ->
+        let acc = { start = ts + 1; stop = te + 1 } :: acc in
+        let starts' = List.filter (fun t -> t >= te) starts' in
+        let stops' = List.filter (fun t -> t > te) stops in
+        go acc starts' stops')
+  in
+  of_list (to_list (go [] starts stops))
+
+let pp ppf i =
+  let pp_span ppf { start; stop } =
+    if stop = infinity then Format.fprintf ppf "(%d,inf)" start
+    else Format.fprintf ppf "(%d,%d)" start stop
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_span)
+    i
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,68 @@
+(** Maximal-interval algebra.
+
+    RTEC computes, for every fluent-value pair, the list of {e maximal
+    intervals} during which it holds continuously. We represent an interval
+    as a half-open span [\[start, stop)] over integer time-points, with
+    [stop = infinity] for intervals that are still open at the end of the
+    window. A span list is kept {e normalised}: sorted, pairwise disjoint and
+    non-adjacent, with every span non-empty. *)
+
+type span = { start : int; stop : int }
+(** Half-open: [holdsAt T] for all [start <= T < stop]. *)
+
+type t = span list
+(** A normalised list of maximal intervals. *)
+
+val infinity : int
+(** Sentinel used as the [stop] of an open interval. *)
+
+val make : int -> int -> span
+(** [make s e] builds the span [\[s, e)]. Raises [Invalid_argument] when
+    [e <= s]. *)
+
+val empty : t
+val is_empty : t -> bool
+val of_list : (int * int) list -> t
+(** Normalises an arbitrary list of [(start, stop)] pairs: empty pairs are
+    dropped, overlapping or adjacent pairs are merged. *)
+
+val to_list : t -> (int * int) list
+val equal : t -> t -> bool
+val mem : int -> t -> bool
+(** [mem t i] holds when time-point [t] falls inside one of the spans. *)
+
+val duration : t -> int
+(** Total number of time-points covered; open spans count up to
+    [infinity] (callers should [clamp] first when that matters). *)
+
+val clamp : int -> int -> t -> t
+(** [clamp lo hi i] restricts [i] to the window [\[lo, hi)]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val union_all : t list -> t
+(** RTEC's [union_all] interval construct. *)
+
+val intersect_all : t list -> t
+(** RTEC's [intersect_all]; the intersection of no lists is empty. *)
+
+val relative_complement_all : t -> t list -> t
+(** RTEC's [relative_complement_all(I, L, I')] : the sub-intervals of [I]
+    not covered by any list in [L]. *)
+
+val filter_duration : min_duration:int -> t -> t
+(** RTEC's [intDurGreater] construct: keeps the maximal intervals lasting
+    strictly longer than [min_duration] time-points (open intervals always
+    qualify). *)
+
+val from_points : starts:int list -> stops:int list -> t
+(** Maximal intervals from initiation and termination points, per RTEC's
+    inertia semantics: an initiation at [Ts] opens an interval at [Ts + 1]
+    (even when a termination also fires at [Ts]); the interval closes at
+    [Te + 1] for the first termination [Te > Ts]; intermediate initiations
+    are ignored; a final unmatched initiation yields an open interval. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

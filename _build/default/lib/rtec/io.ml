@@ -1,0 +1,65 @@
+let span_term (s : Interval.span) =
+  let stop = if s.stop = Interval.infinity then Term.Atom "inf" else Term.Int s.stop in
+  Term.list_ [ Term.Int s.start; stop ]
+
+let spans_term spans = Term.list_ (List.map span_term spans)
+
+let spans_of_term t =
+  match Term.as_list t with
+  | None -> invalid_arg "Io: expected a list of spans"
+  | Some elems ->
+    List.map
+      (fun e ->
+        match Term.as_list e with
+        | Some [ Term.Int s; Term.Int stop ] -> (s, stop)
+        | Some [ Term.Int s; Term.Atom "inf" ] -> (s, Interval.infinity)
+        | _ -> invalid_arg "Io: expected a two-element [start, stop] span")
+      elems
+    |> Interval.of_list
+
+let stream_to_string stream =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ((fluent, value), spans) ->
+      Buffer.add_string b
+        (Printf.sprintf "holdsFor(%s, %s).\n"
+           (Term.to_string (Term.eq fluent value))
+           (Term.to_string (spans_term spans))))
+    (Stream.input_fluents stream);
+  List.iter
+    (fun (e : Stream.event) ->
+      Buffer.add_string b
+        (Printf.sprintf "happensAt(%s, %d).\n" (Term.to_string e.term) e.time))
+    (Stream.events stream);
+  Buffer.contents b
+
+let stream_of_string source =
+  let events = ref [] and fluents = ref [] in
+  List.iter
+    (fun (r : Ast.rule) ->
+      if r.body <> [] then invalid_arg "Io.stream_of_string: expected facts";
+      match r.head with
+      | Term.Compound ("happensAt", [ term; Term.Int time ]) ->
+        events := { Stream.time; term } :: !events
+      | Term.Compound ("holdsFor", [ fv; spans ]) -> (
+        match Term.as_fvp fv with
+        | Some (f, v) -> fluents := ((f, v), spans_of_term spans) :: !fluents
+        | None -> invalid_arg "Io.stream_of_string: holdsFor expects a fluent-value pair")
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Io.stream_of_string: unexpected fact %s" (Term.to_string other)))
+    (Parser.parse_clauses source);
+  Stream.make ~input_fluents:(List.rev !fluents) (List.rev !events)
+
+let knowledge_to_string kb =
+  String.concat ""
+    (List.map (fun fact -> Term.to_string fact ^ ".\n") (Knowledge.facts kb))
+
+let knowledge_of_string = Knowledge.of_source
+
+let write_stream oc stream = output_string oc (stream_to_string stream)
+
+let read_all ic = really_input_string ic (in_channel_length ic)
+let read_stream ic = stream_of_string (read_all ic)
+let write_knowledge oc kb = output_string oc (knowledge_to_string kb)
+let read_knowledge ic = knowledge_of_string (read_all ic)

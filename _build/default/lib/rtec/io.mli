@@ -1,0 +1,19 @@
+(** Textual serialisation of streams and background knowledge, in concrete
+    RTEC syntax, so that datasets round-trip through files and the command
+    line. An event is written as [happensAt(E, T).]; an input statically
+    determined fluent as [holdsFor(F = V, [[S1, E1], [S2, E2], ...]).]
+    (spans as two-element lists; the sentinel atom [inf] denotes an open
+    interval); a fact as itself. *)
+
+val stream_to_string : Stream.t -> string
+val stream_of_string : string -> Stream.t
+(** Raises {!Parser.Error} on malformed input and [Invalid_argument] on
+    lines that are neither [happensAt] nor [holdsFor] facts. *)
+
+val knowledge_to_string : Knowledge.t -> string
+val knowledge_of_string : string -> Knowledge.t
+
+val write_stream : out_channel -> Stream.t -> unit
+val read_stream : in_channel -> Stream.t
+val write_knowledge : out_channel -> Knowledge.t -> unit
+val read_knowledge : in_channel -> Knowledge.t

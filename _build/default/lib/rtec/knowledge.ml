@@ -1,0 +1,48 @@
+module M = Map.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+type t = { index : Term.t list M.t; count : int }
+
+let empty = { index = M.empty; count = 0 }
+
+let add fact kb =
+  if not (Term.is_ground fact) then
+    invalid_arg
+      (Printf.sprintf "Knowledge.add: fact %s is not ground" (Term.to_string fact));
+  let key = Term.indicator fact in
+  let existing = Option.value ~default:[] (M.find_opt key kb.index) in
+  { index = M.add key (fact :: existing) kb.index; count = kb.count + 1 }
+
+let of_list facts = List.fold_left (fun kb f -> add f kb) empty facts
+
+let of_source source =
+  Parser.parse_clauses source
+  |> List.map (fun (r : Ast.rule) ->
+         if r.body <> [] then
+           invalid_arg "Knowledge.of_source: expected facts, found a rule";
+         r.head)
+  |> of_list
+
+let facts kb = M.fold (fun _ fs acc -> List.rev_append fs acc) kb.index []
+
+let solve kb subst pattern =
+  let concrete = Subst.apply subst pattern in
+  match M.find_opt (Term.indicator concrete) kb.index with
+  | None -> []
+  | Some candidates ->
+    List.filter_map (fun fact -> Unify.unify ~subst concrete fact) candidates
+
+let threshold kb name =
+  let pattern = Term.app "thresholds" [ Term.Atom name; Term.Var "V" ] in
+  match solve kb Subst.empty pattern with
+  | s :: _ -> (
+    match Subst.apply s (Term.Var "V") with
+    | Term.Real r -> Some r
+    | Term.Int n -> Some (float_of_int n)
+    | _ -> None)
+  | [] -> None
+
+let size kb = kb.count

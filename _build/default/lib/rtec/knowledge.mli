@@ -1,0 +1,23 @@
+(** Atemporal background knowledge: a store of ground facts such as
+    [areaType(a1, fishing)], [vesselType(v9, tug)] or
+    [thresholds(trawlspeedMin, 1.0)], indexed by predicate indicator. *)
+
+type t
+
+val empty : t
+val add : Term.t -> t -> t
+(** Raises [Invalid_argument] if the fact is not ground. *)
+
+val of_list : Term.t list -> t
+val of_source : string -> t
+(** Parses a program of facts in concrete syntax. *)
+
+val facts : t -> Term.t list
+val solve : t -> Subst.t -> Term.t -> Subst.t list
+(** [solve kb subst pattern] returns one extended substitution per stored
+    fact unifying with [pattern] under [subst]. *)
+
+val threshold : t -> string -> float option
+(** [threshold kb name] looks up [thresholds(name, V)] and returns [V]. *)
+
+val size : t -> int

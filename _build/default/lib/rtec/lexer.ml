@@ -1,0 +1,146 @@
+type token =
+  | ATOM of string
+  | VAR of string
+  | INT of int
+  | REAL of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | ARROW
+  | OP of string
+  | NOT
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let is_lower c = (c >= 'a' && c <= 'z')
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_lower c || is_upper c || is_digit c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let fail message = raise (Error { line = !line; message }) in
+  let rec scan i =
+    if i >= n then emit EOF
+    else
+      let c = input.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        scan (i + 1)
+      | ' ' | '\t' | '\r' -> scan (i + 1)
+      | '%' ->
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip (i + 1))
+      | '/' when i + 1 < n && input.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then fail "unterminated block comment"
+          else if input.[j] = '\n' then (
+            incr line;
+            skip (j + 1))
+          else if input.[j] = '*' && input.[j + 1] = '/' then j + 2
+          else skip (j + 1)
+        in
+        scan (skip (i + 2))
+      | '(' ->
+        emit LPAREN;
+        scan (i + 1)
+      | ')' ->
+        emit RPAREN;
+        scan (i + 1)
+      | '[' ->
+        emit LBRACKET;
+        scan (i + 1)
+      | ']' ->
+        emit RBRACKET;
+        scan (i + 1)
+      | ',' ->
+        emit COMMA;
+        scan (i + 1)
+      | ':' when i + 1 < n && input.[i + 1] = '-' ->
+        emit ARROW;
+        scan (i + 2)
+      | '=' when i + 1 < n && input.[i + 1] = '<' ->
+        emit (OP "=<");
+        scan (i + 2)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (OP ">=");
+        scan (i + 2)
+      | '\\' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (OP "\\=");
+        scan (i + 2)
+      | '=' | '<' | '>' | '+' | '*' | '/' ->
+        emit (OP (String.make 1 c));
+        scan (i + 1)
+      | '-' when i + 1 < n && is_digit input.[i + 1] -> scan_number i
+      | '-' ->
+        emit (OP "-");
+        scan (i + 1)
+      | '.' ->
+        (* A dot is a clause terminator unless it continues a number, which
+           [scan_number] already consumed; here it is always terminal. *)
+        emit DOT;
+        scan (i + 1)
+      | '\'' ->
+        let rec find j =
+          if j >= n then fail "unterminated quoted atom"
+          else if input.[j] = '\'' then j
+          else find (j + 1)
+        in
+        let j = find (i + 1) in
+        emit (ATOM (String.sub input (i + 1) (j - i - 1)));
+        scan (j + 1)
+      | c when is_digit c -> scan_number i
+      | c when is_lower c ->
+        let j = ident_end i in
+        let word = String.sub input i (j - i) in
+        emit (if String.equal word "not" then NOT else ATOM word);
+        scan j
+      | c when is_upper c ->
+        let j = ident_end i in
+        emit (VAR (String.sub input i (j - i)));
+        scan j
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  and ident_end i =
+    let rec go j = if j < n && is_ident input.[j] then go (j + 1) else j in
+    go (i + 1)
+  and scan_number i =
+    let start = i in
+    let i = if input.[i] = '-' then i + 1 else i in
+    let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+    let j = digits i in
+    if j + 1 < n && input.[j] = '.' && is_digit input.[j + 1] then begin
+      let k = digits (j + 1) in
+      emit (REAL (float_of_string (String.sub input start (k - start))));
+      scan k
+    end
+    else begin
+      emit (INT (int_of_string (String.sub input start (j - start))));
+      scan j
+    end
+  in
+  scan 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | ATOM a -> Format.fprintf ppf "atom %s" a
+  | VAR v -> Format.fprintf ppf "variable %s" v
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | REAL r -> Format.fprintf ppf "real %g" r
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | ARROW -> Format.pp_print_string ppf "':-'"
+  | OP op -> Format.fprintf ppf "operator %s" op
+  | NOT -> Format.pp_print_string ppf "'not'"
+  | EOF -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,25 @@
+(** Lexer for the concrete RTEC syntax. *)
+
+type token =
+  | ATOM of string  (** lowercase-initial identifier, or quoted atom *)
+  | VAR of string  (** uppercase- or [_]-initial identifier *)
+  | INT of int
+  | REAL of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | ARROW  (** [:-] *)
+  | OP of string  (** [=], [<], [>], [>=], [=<], [\=], [+], [-], [*], [/] *)
+  | NOT
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers. Handles [%] line comments and
+    [/*] ... [*/] block comments. Raises {!Error} on unrecognised input. *)
+
+val pp_token : Format.formatter -> token -> unit

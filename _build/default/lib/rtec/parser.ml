@@ -1,0 +1,150 @@
+exception Error of { line : int; message : string }
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st = match st.tokens with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail_at line message = raise (Error { line; message })
+
+let fail st message =
+  let tok, line = peek st in
+  fail_at line (Format.asprintf "%s (found %a)" message Lexer.pp_token tok)
+
+let expect st token message =
+  let tok, _ = peek st in
+  if tok = token then advance st else fail st message
+
+let cmp_ops = [ "="; "<"; ">"; ">="; "=<"; "\\=" ]
+
+let rec parse_term_st st =
+  let lhs = parse_additive st in
+  match peek st with
+  | Lexer.OP op, _ when List.mem op cmp_ops ->
+    advance st;
+    let rhs = parse_additive st in
+    Term.Compound (op, [ lhs; rhs ])
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OP (("+" | "-") as op), _ ->
+      advance st;
+      let rhs = parse_multiplicative st in
+      loop (Term.Compound (op, [ acc; rhs ]))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OP (("*" | "/") as op), _ ->
+      advance st;
+      let rhs = parse_primary st in
+      loop (Term.Compound (op, [ acc; rhs ]))
+    | _ -> acc
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n, _ ->
+    advance st;
+    Term.Int n
+  | Lexer.REAL r, _ ->
+    advance st;
+    Term.Real r
+  | Lexer.VAR v, _ ->
+    advance st;
+    Term.Var v
+  | Lexer.NOT, _ ->
+    advance st;
+    Term.neg (parse_term_st st)
+  | Lexer.ATOM a, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN, _ ->
+      advance st;
+      let args = parse_term_list st in
+      expect st Lexer.RPAREN "expected ')' closing argument list";
+      Term.Compound (a, args)
+    | _ -> Term.Atom a)
+  | Lexer.LBRACKET, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.RBRACKET, _ ->
+      advance st;
+      Term.list_ []
+    | _ ->
+      let elems = parse_term_list st in
+      expect st Lexer.RBRACKET "expected ']' closing list";
+      Term.list_ elems)
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let t = parse_term_st st in
+    expect st Lexer.RPAREN "expected ')'";
+    t
+  | _ -> fail st "expected a term"
+
+and parse_term_list st =
+  let first = parse_term_st st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.COMMA, _ ->
+      advance st;
+      loop (parse_term_st st :: acc)
+    | _ -> List.rev acc
+  in
+  loop [ first ]
+
+let parse_clause st =
+  let head = parse_term_st st in
+  match peek st with
+  | Lexer.DOT, _ ->
+    advance st;
+    Ast.rule head []
+  | Lexer.ARROW, _ ->
+    advance st;
+    let body = parse_term_list st in
+    expect st Lexer.DOT "expected '.' ending clause";
+    Ast.rule head body
+  | _ -> fail st "expected ':-' or '.' after clause head"
+
+let parse_program st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | _ -> loop (parse_clause st :: acc)
+  in
+  loop []
+
+let with_input input k =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Error { line; message } -> fail_at line message
+  in
+  k { tokens }
+
+let parse_term input =
+  with_input input (fun st ->
+      let t = parse_term_st st in
+      match peek st with
+      | (Lexer.EOF | Lexer.DOT), _ -> t
+      | _ -> fail st "trailing input after term")
+
+let parse_clauses input = with_input input parse_program
+
+let parse_definition ~name input = { Ast.name; rules = parse_clauses input }
+
+let parse_clauses_result input =
+  match parse_clauses input with
+  | rules -> Ok rules
+  | exception Error { line; message } ->
+    Result.Error (Printf.sprintf "line %d: %s" line message)
+  | exception Failure message ->
+    (* e.g. an integer literal exceeding the native range *)
+    Result.Error ("malformed input: " ^ message)

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for RTEC event descriptions.
+
+    Grammar (standard Prolog-like):
+    - program: clause*
+    - clause:  term [":-" term ("," term)*] "."
+    - term:    additive (cmp-op additive)?   with cmp-op in {=, <, >, >=, =<, \=}
+    - additive / multiplicative: left-associative arithmetic
+    - primary: number | variable | atom [ "(" term, ... ")" ] | "[" ... "]"
+               | "(" term ")" | "not" term *)
+
+exception Error of { line : int; message : string }
+
+val parse_term : string -> Term.t
+(** Parses a single term (no trailing dot required). Raises {!Error}. *)
+
+val parse_clauses : string -> Ast.rule list
+(** Parses a program into rules; facts become rules with an empty body.
+    Raises {!Error} on malformed input. *)
+
+val parse_definition : name:string -> string -> Ast.definition
+(** Parses a program and labels it as the definition of one activity. *)
+
+val parse_clauses_result : string -> (Ast.rule list, string) result
+(** Like {!parse_clauses}, with errors returned as a message; used on
+    LLM-generated text, which may be malformed. *)

@@ -1,0 +1,25 @@
+let pp_rule ppf (r : Ast.rule) =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a." Term.pp r.head
+  | body ->
+    Format.fprintf ppf "@[<v 4>%a :-@,%a.@]" Term.pp r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         Term.pp)
+      body
+
+let rule_to_string r = Format.asprintf "%a" pp_rule r
+
+let pp_definition ppf (d : Ast.definition) =
+  Format.fprintf ppf "@[<v>%% %s@,%a@]" d.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_rule)
+    d.rules
+
+let definition_to_string d = Format.asprintf "%a" pp_definition d
+
+let pp_event_description ppf (ed : Ast.t) =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_definition)
+    ed
+
+let event_description_to_string ed = Format.asprintf "%a" pp_event_description ed

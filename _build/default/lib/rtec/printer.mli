@@ -1,0 +1,10 @@
+(** Pretty-printing of rules and event descriptions back to concrete RTEC
+    syntax. Round-trips with {!Parser}: parsing the output of [rule_to_string]
+    yields an equal {!Ast.rule}. *)
+
+val pp_rule : Format.formatter -> Ast.rule -> unit
+val rule_to_string : Ast.rule -> string
+val pp_definition : Format.formatter -> Ast.definition -> unit
+val definition_to_string : Ast.definition -> string
+val pp_event_description : Format.formatter -> Ast.t -> unit
+val event_description_to_string : Ast.t -> string

@@ -1,0 +1,76 @@
+type event = { time : int; term : Term.t }
+
+module M = Map.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+type t = {
+  by_indicator : event array M.t;  (* each array sorted by time *)
+  all : event list;
+  input_fluents : ((Term.t * Term.t) * Interval.t) list;
+}
+
+let make ?(input_fluents = []) events =
+  List.iter
+    (fun e ->
+      if not (Term.is_ground e.term) then
+        invalid_arg
+          (Printf.sprintf "Stream.make: event %s is not ground" (Term.to_string e.term)))
+    events;
+  List.iter
+    (fun ((f, v), _) ->
+      if not (Term.is_ground f && Term.is_ground v) then
+        invalid_arg "Stream.make: input fluent is not ground")
+    input_fluents;
+  let sorted = List.stable_sort (fun a b -> Int.compare a.time b.time) events in
+  let grouped =
+    List.fold_left
+      (fun acc e ->
+        let key = Term.indicator e.term in
+        let existing = Option.value ~default:[] (M.find_opt key acc) in
+        M.add key (e :: existing) acc)
+      M.empty sorted
+  in
+  let by_indicator = M.map (fun es -> Array.of_list (List.rev es)) grouped in
+  { by_indicator; all = sorted; input_fluents }
+
+let events s = s.all
+let size s = List.length s.all
+
+let extent s =
+  match s.all with
+  | [] -> (0, 0)
+  | first :: _ ->
+    let rec last = function [ e ] -> e | _ :: rest -> last rest | [] -> first in
+    (first.time, (last s.all).time)
+
+(* First index with time >= t, via binary search. *)
+let lower_bound arr t =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).time < t then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let events_in s ~functor_ ~from ~until =
+  match M.find_opt functor_ s.by_indicator with
+  | None -> []
+  | Some arr ->
+    let start = lower_bound arr from in
+    let rec collect i acc =
+      if i >= Array.length arr || arr.(i).time > until then List.rev acc
+      else collect (i + 1) (arr.(i) :: acc)
+    in
+    collect start []
+
+let events_at s ~functor_ ~time = events_in s ~functor_ ~from:time ~until:time
+let input_fluents s = s.input_fluents
+let indicators s = List.map fst (M.bindings s.by_indicator)
+
+let append a b =
+  make
+    ~input_fluents:(a.input_fluents @ b.input_fluents)
+    (a.all @ b.all)

@@ -1,0 +1,35 @@
+(** Input streams.
+
+    A stream carries (i) ground {e input events} — instantaneous happenings
+    such as [entersArea(v1, a3)] at time-point 118 — and (ii) {e input
+    statically determined fluents} whose maximal intervals are computed
+    upstream of RTEC (in the maritime domain, the spatial [proximity]
+    fluent). Events are indexed by predicate indicator and by time for the
+    engine's two access patterns: scanning a window and point lookups. *)
+
+type event = { time : int; term : Term.t }
+
+type t
+
+val make : ?input_fluents:((Term.t * Term.t) * Interval.t) list -> event list -> t
+(** Builds a stream; events need not be sorted. Raises [Invalid_argument]
+    on non-ground events. Each input fluent is a ground [(fluent, value)]
+    pair with its maximal intervals. *)
+
+val events : t -> event list
+(** All events in time order. *)
+
+val size : t -> int
+val extent : t -> int * int
+(** [(min, max)] event time, [(0, 0)] for an empty stream. *)
+
+val events_in : t -> functor_:string * int -> from:int -> until:int -> event list
+(** Events with the given indicator and [from <= time <= until]. *)
+
+val events_at : t -> functor_:string * int -> time:int -> event list
+val input_fluents : t -> ((Term.t * Term.t) * Interval.t) list
+val indicators : t -> (string * int) list
+(** Event indicators present in the stream. *)
+
+val append : t -> t -> t
+(** Concatenates two streams (re-sorting as needed). *)

@@ -1,0 +1,26 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let bind x t s = M.add x t s
+let find x s = M.find_opt x s
+let mem x s = M.mem x s
+let bindings s = M.bindings s
+
+let rec apply s t =
+  match t with
+  | Term.Var x -> (
+    match M.find_opt x s with
+    | None -> t
+    | Some (Term.Var y as t') -> if String.equal x y then t' else apply s t'
+    | Some t' -> apply s t')
+  | Term.Atom _ | Term.Int _ | Term.Real _ -> t
+  | Term.Compound (f, args) -> Term.Compound (f, List.map (apply s) args)
+
+let pp ppf s =
+  let pp_binding ppf (x, t) = Format.fprintf ppf "%s -> %a" x Term.pp t in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_binding)
+    (bindings s)

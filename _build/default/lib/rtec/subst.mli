@@ -1,0 +1,20 @@
+(** Substitutions: finite maps from variable names to terms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val bind : string -> Term.t -> t -> t
+(** [bind x t s] extends [s] with [x -> t]; any existing binding of [x] is
+    replaced, so callers must check consistency beforehand (as [Unify.unify]
+    does). *)
+
+val find : string -> t -> Term.t option
+val mem : string -> t -> bool
+val bindings : t -> (string * Term.t) list
+val apply : t -> Term.t -> Term.t
+(** [apply s t] replaces every variable of [t] bound in [s] by its (itself
+    substituted) binding. Substitutions are kept idempotent by construction,
+    but [apply] walks bindings transitively for safety. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+type t =
+  | Var of string
+  | Atom of string
+  | Int of int
+  | Real of float
+  | Compound of string * t list
+
+let rec compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Real x, Real y -> Float.compare x y
+  | Real _, _ -> -1
+  | _, Real _ -> 1
+  | Atom x, Atom y -> String.compare x y
+  | Atom _, _ -> -1
+  | _, Atom _ -> 1
+  | Compound (f, xs), Compound (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c
+    else
+      let c = Int.compare (List.length xs) (List.length ys) in
+      if c <> 0 then c else compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let app f = function
+  | [] -> Atom f
+  | args -> Compound (f, args)
+
+let eq f v = Compound ("=", [ f; v ])
+let neg a = Compound ("not", [ a ])
+let list_ ts = Compound ("[]", ts)
+
+let functor_of = function
+  | Var x -> x
+  | Atom f -> f
+  | Int _ -> "#int"
+  | Real _ -> "#real"
+  | Compound (f, _) -> f
+
+let arity = function Compound (_, args) -> List.length args | _ -> 0
+let args = function Compound (_, args) -> args | _ -> []
+let is_var = function Var _ -> true | _ -> false
+
+let is_const = function
+  | Atom _ | Int _ | Real _ -> true
+  | Var _ | Compound _ -> false
+
+let rec is_ground = function
+  | Var _ -> false
+  | Atom _ | Int _ | Real _ -> true
+  | Compound (_, args) -> List.for_all is_ground args
+
+let vars t =
+  let rec go acc = function
+    | Var x -> if List.mem x acc then acc else x :: acc
+    | Atom _ | Int _ | Real _ -> acc
+    | Compound (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec strip_not t =
+  match t with
+  | Compound ("not", [ a ]) ->
+    let positive, inner = strip_not a in
+    (not positive, inner)
+  | _ -> (true, t)
+
+let as_fvp = function Compound ("=", [ f; v ]) -> Some (f, v) | _ -> None
+let as_list = function Compound ("[]", ts) -> Some ts | Atom "[]" -> Some [] | _ -> None
+let indicator t = (functor_of t, arity t)
+
+let infix_operators = [ "="; "<"; ">"; ">="; "=<"; "\\="; "+"; "-"; "*"; "/" ]
+
+let rec pp ppf t =
+  match t with
+  | Var x -> Format.pp_print_string ppf x
+  | Atom f -> Format.pp_print_string ppf f
+  | Int n -> Format.pp_print_int ppf n
+  | Real r ->
+    (* Print reals so that they re-parse as reals (keep a decimal point). *)
+    if Float.is_integer r && Float.abs r < 1e15 then Format.fprintf ppf "%.1f" r
+    else Format.fprintf ppf "%g" r
+  | Compound ("[]", ts) ->
+    Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:pp_comma pp) ts
+  | Compound ("not", [ a ]) -> Format.fprintf ppf "not %a" pp_inner a
+  | Compound (op, [ a; b ]) when List.mem op infix_operators ->
+    Format.fprintf ppf "%a %s %a" pp_inner a op pp_inner b
+  | Compound (f, args) ->
+    Format.fprintf ppf "%s(%a)" f (Format.pp_print_list ~pp_sep:pp_comma pp) args
+
+and pp_inner ppf t =
+  (* Parenthesise nested infix applications and negations to keep printing
+     unambiguous. *)
+  match t with
+  | Compound (op, [ _; _ ]) when List.mem op infix_operators ->
+    Format.fprintf ppf "(%a)" pp t
+  | Compound ("not", [ _ ]) -> Format.fprintf ppf "(%a)" pp t
+  | _ -> pp ppf t
+
+and pp_comma ppf () = Format.pp_print_string ppf ", "
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,72 @@
+(** First-order terms: the representation shared by the RTEC language, the
+    engine and the similarity metric.
+
+    Following the paper, the fluent-value pair [F=V] is represented as the
+    compound term [=(F, V)] in prefix notation, and negation-by-failure as
+    the unary wrapper [not(A)]. *)
+
+type t =
+  | Var of string  (** logical variable, e.g. [Vessel] *)
+  | Atom of string  (** constant symbol, e.g. [fishing] *)
+  | Int of int  (** integer constant (time-points, counts) *)
+  | Real of float  (** numeric constant (speeds, thresholds) *)
+  | Compound of string * t list  (** [f(t1, ..., tn)] with n >= 1 *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Constructors} *)
+
+val app : string -> t list -> t
+(** [app f args] builds [Atom f] when [args] is empty and a compound term
+    otherwise. *)
+
+val eq : t -> t -> t
+(** [eq f v] is the fluent-value pair [f = v], i.e. [=(f, v)]. *)
+
+val neg : t -> t
+(** [neg a] wraps [a] in negation-by-failure. *)
+
+val list_ : t list -> t
+(** [list_ ts] is the list term [[t1, ..., tn]], used by the interval
+    manipulation constructs. *)
+
+(** {1 Inspection} *)
+
+val functor_of : t -> string
+(** Predicate/function symbol of a term; the name itself for atoms and
+    variables, ["#int"]/["#real"] for numbers. *)
+
+val arity : t -> int
+val args : t -> t list
+val is_var : t -> bool
+val is_const : t -> bool
+(** [is_const t] holds for atoms and numeric constants. *)
+
+val is_ground : t -> bool
+val vars : t -> string list
+(** Variables occurring in the term, without duplicates, in first-occurrence
+    order. *)
+
+val strip_not : t -> bool * t
+(** [strip_not a] is [(positive, atom)] after removing any (nested) [not]
+    wrappers; an even number of wrappers yields a positive literal. *)
+
+val as_fvp : t -> (t * t) option
+(** [as_fvp t] decomposes [=(f, v)] into [Some (f, v)]. *)
+
+val as_list : t -> t list option
+(** [as_list t] decomposes a list term into its elements. *)
+
+val indicator : t -> string * int
+(** [indicator t] is the [(functor, arity)] pair identifying a predicate or a
+    fluent schema. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prolog-style printing: [=] and comparison operators are printed infix,
+    list terms with brackets, everything else in canonical [f(...)] form. *)
+
+val to_string : t -> string

@@ -1,0 +1,51 @@
+let rec occurs s x t =
+  match t with
+  | Term.Var y -> (
+    String.equal x y
+    || match Subst.find y s with None -> false | Some t' -> occurs s x t')
+  | Term.Atom _ | Term.Int _ | Term.Real _ -> false
+  | Term.Compound (_, args) -> List.exists (occurs s x) args
+
+let rec walk s t =
+  match t with
+  | Term.Var x -> (
+    match Subst.find x s with None -> t | Some t' -> walk s t')
+  | _ -> t
+
+let rec unify_terms s a b =
+  let a = walk s a and b = walk s b in
+  match (a, b) with
+  | Term.Var x, Term.Var y when String.equal x y -> Some s
+  | Term.Var x, t | t, Term.Var x ->
+    if occurs s x t then None else Some (Subst.bind x t s)
+  | Term.Atom f, Term.Atom g -> if String.equal f g then Some s else None
+  | Term.Int n, Term.Int m -> if n = m then Some s else None
+  | Term.Real r, Term.Real q -> if Float.equal r q then Some s else None
+  | Term.Int n, Term.Real r | Term.Real r, Term.Int n ->
+    (* Numeric literals unify across representations: thresholds are reals
+       while stream attributes may be integers. *)
+    if Float.equal (float_of_int n) r then Some s else None
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+    if String.equal f g && List.length xs = List.length ys then
+      unify_lists s xs ys
+    else None
+  | _ -> None
+
+and unify_lists s xs ys =
+  match (xs, ys) with
+  | [], [] -> Some s
+  | x :: xs', y :: ys' -> (
+    match unify_terms s x y with
+    | None -> None
+    | Some s' -> unify_lists s' xs' ys')
+  | _ -> None
+
+let unify ?(subst = Subst.empty) a b = unify_terms subst a b
+let matches pattern t = Option.is_some (unify pattern t)
+
+let rec rename_apart ~suffix t =
+  match t with
+  | Term.Var x -> Term.Var (x ^ "_" ^ suffix)
+  | Term.Atom _ | Term.Int _ | Term.Real _ -> t
+  | Term.Compound (f, args) ->
+    Term.Compound (f, List.map (rename_apart ~suffix) args)

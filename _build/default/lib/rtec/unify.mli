@@ -1,0 +1,12 @@
+(** Syntactic unification of first-order terms. *)
+
+val unify : ?subst:Subst.t -> Term.t -> Term.t -> Subst.t option
+(** [unify a b] computes a most general unifier of [a] and [b], extending the
+    optional initial substitution. Includes the occurs check. *)
+
+val matches : Term.t -> Term.t -> bool
+(** [matches pattern t] holds when the two terms unify. *)
+
+val rename_apart : suffix:string -> Term.t -> Term.t
+(** [rename_apart ~suffix t] renames every variable [X] of [t] to
+    [X_suffix]; used to keep rule variables distinct from query variables. *)

@@ -1,0 +1,68 @@
+type stats = { queries : int; events_processed : int }
+
+module FvpMap = Map.Make (struct
+  type t = Engine.fvp
+
+  let compare (f1, v1) (f2, v2) =
+    let c = Term.compare f1 f2 in
+    if c <> 0 then c else Term.compare v1 v2
+end)
+
+let query_times ~lo ~hi ~window ~step =
+  (* The first query fires once a full window has elapsed (so its window
+     reaches back to the start of the stream); queries then repeat every
+     [step] time-points, with a final query exactly at the end of the
+     stream. *)
+  let rec gen q acc = if q >= hi then List.rev (hi :: acc) else gen (q + step) (q :: acc) in
+  gen (lo + window - 1) []
+
+let run ?window ?step ~event_description ~knowledge ~stream () =
+  let lo, hi = Stream.extent stream in
+  (* Without an explicit window, a single query covers the whole extent. *)
+  let window = Option.value ~default:(hi - lo + 1) window in
+  let step = Option.value ~default:window step in
+  if window <= 0 || step <= 0 then Result.Error "window and step must be positive"
+  else begin
+    let accumulated = ref FvpMap.empty in
+    let queries = ref 0 and events_processed = ref 0 in
+    let record (fv, spans) =
+      if not (Interval.is_empty spans) then
+        accumulated :=
+          FvpMap.update fv
+            (fun o -> Some (Interval.union spans (Option.value ~default:Interval.empty o)))
+            !accumulated
+    in
+    let all_events = Stream.events stream in
+    let process q =
+      let from = max lo (q - window + 1) in
+      (* FVPs holding at the window start according to what has been
+         recognised so far are carried over by inertia. *)
+      let carry =
+        FvpMap.fold
+          (fun fv spans acc -> if Interval.mem from spans then fv :: acc else acc)
+          !accumulated []
+      in
+      match Engine.run ~carry ~event_description ~knowledge ~stream ~from ~until:q () with
+      | Result.Error e -> Some e
+      | Ok result ->
+        (* Truncate open intervals just past the query horizon so that the
+           next (overlapping) window extends them seamlessly. *)
+        let horizon = q + 2 in
+        List.iter (fun (fv, spans) -> record (fv, Interval.clamp from horizon spans)) result;
+        incr queries;
+        events_processed :=
+          !events_processed
+          + List.length
+              (List.filter (fun (e : Stream.event) -> e.time >= from && e.time <= q) all_events);
+        None
+    in
+    let rec loop = function
+      | [] -> None
+      | q :: rest -> ( match process q with Some e -> Some e | None -> loop rest)
+    in
+    match loop (query_times ~lo ~hi ~window ~step) with
+    | Some e -> Result.Error e
+    | None ->
+      let result = FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) !accumulated [] in
+      Ok (result, { queries = !queries; events_processed = !events_processed })
+  end

@@ -1,0 +1,26 @@
+(** Sliding-window stream processing (Section 2, "Reasoning").
+
+    At each query time [q_i] the engine reasons over the events inside the
+    window [(q_i - omega, q_i]]; older events are forgotten. Fluent-value
+    pairs that hold at the window start are carried over from the previous
+    query (interval amalgamation), so recognition is insensitive to window
+    boundaries as long as [step <= omega]. *)
+
+type stats = {
+  queries : int;  (** number of query times processed *)
+  events_processed : int;  (** window sizes summed over queries *)
+}
+
+val run :
+  ?window:int ->
+  ?step:int ->
+  event_description:Ast.t ->
+  knowledge:Knowledge.t ->
+  stream:Stream.t ->
+  unit ->
+  (Engine.result * stats, string) Result.t
+(** Runs the engine over the whole stream. Without [window], a single
+    query over the full extent is performed. [step] defaults to [window].
+    Intervals still open at a query time are truncated just past that
+    query's horizon, so that the next overlapping window extends them
+    seamlessly. *)

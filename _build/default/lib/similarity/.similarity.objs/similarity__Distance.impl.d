@@ -1,0 +1,1 @@
+lib/similarity/distance.ml: Array Assignment Ast Float List Rtec String Term Var_instance

@@ -1,0 +1,1 @@
+lib/similarity/distance.mli: Rtec Var_instance

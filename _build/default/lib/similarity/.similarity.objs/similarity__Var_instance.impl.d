@@ -1,0 +1,1 @@
+lib/similarity/var_instance.ml: Ast List Map Option Rtec String Term

@@ -1,0 +1,1 @@
+lib/similarity/var_instance.mli: Rtec

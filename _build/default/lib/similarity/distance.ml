@@ -1,0 +1,93 @@
+open Rtec
+
+let numeric = function
+  | Term.Int n -> Some (float_of_int n)
+  | Term.Real r -> Some r
+  | _ -> None
+
+(* Shared recursion for Definitions 4.1 and 4.11. [var_case] decides the
+   distance between two variables; Definition 4.1 never reaches it because
+   its inputs are ground. *)
+let rec generic var_case u1 u2 =
+  match (u1, u2) with
+  | Term.Var v1, Term.Var v2 -> var_case v1 v2
+  | Term.Var _, _ | _, Term.Var _ -> 1.
+  | _ -> (
+    match (numeric u1, numeric u2) with
+    | Some x, Some y -> if Float.equal x y then 0. else 1.
+    | _ -> (
+      match (u1, u2) with
+      | Term.Atom a, Term.Atom b -> if String.equal a b then 0. else 1.
+      | Term.Compound (p, ss), Term.Compound (q, ts)
+        when String.equal p q && List.length ss = List.length ts ->
+        let k = float_of_int (List.length ss) in
+        let sum = List.fold_left2 (fun acc s t -> acc +. generic var_case s t) 0. ss ts in
+        sum /. (2. *. k)
+      | _ -> 1.))
+
+let ground u1 u2 =
+  if not (Term.is_ground u1 && Term.is_ground u2) then
+    invalid_arg "Distance.ground: expressions must be ground";
+  generic (fun _ _ -> 1.) u1 u2
+
+let expression ~vi1 ~vi2 u1 u2 =
+  let var_case v1 v2 = if Var_instance.equal_instances vi1 v1 vi2 v2 then 0. else 1. in
+  generic var_case u1 u2
+
+let cost_matrix d rows cols =
+  let m = Array.length rows and k = Array.length cols in
+  if k > m then invalid_arg "Distance.cost_matrix: more columns than rows";
+  Array.init m (fun i -> Array.init k (fun j -> d rows.(i) cols.(j)))
+
+type strategy = Hungarian | Greedy
+
+let assign strategy matrix =
+  match strategy with
+  | Hungarian -> Assignment.Kuhn_munkres.solve_rectangular matrix
+  | Greedy -> Assignment.Greedy.solve_rectangular matrix
+
+(* Definition 4.5 generalised: distance between two multisets given an
+   element distance, with unmatched elements penalised by 1. *)
+let set_distance ?(strategy = Hungarian) d xs ys =
+  let xs, ys = if List.length xs >= List.length ys then (xs, ys) else (ys, xs) in
+  let m = List.length xs and k = List.length ys in
+  if m = 0 then 0.
+  else begin
+    let matrix = cost_matrix d (Array.of_list xs) (Array.of_list ys) in
+    let _, total = assign strategy matrix in
+    (float_of_int (m - k) +. total) /. float_of_int m
+  end
+
+let ground_sets ea eb =
+  List.iter
+    (fun t ->
+      if not (Term.is_ground t) then
+        invalid_arg "Distance.ground_sets: expressions must be ground")
+    (ea @ eb);
+  set_distance ground ea eb
+
+let rule ?(strategy = Hungarian) (r1 : Ast.rule) (r2 : Ast.rule) =
+  let vi1 = Var_instance.of_rule r1 and vi2 = Var_instance.of_rule r2 in
+  let head_distance = expression ~vi1 ~vi2 r1.head r2.head in
+  let b1, b2, vi1, vi2 =
+    if List.length r1.body >= List.length r2.body then (r1.body, r2.body, vi1, vi2)
+    else (r2.body, r1.body, vi2, vi1)
+  in
+  let m = List.length b1 and k = List.length b2 in
+  let body_total =
+    if m = 0 then 0.
+    else if k = 0 then float_of_int m
+    else begin
+      let matrix =
+        cost_matrix (fun a b -> expression ~vi1 ~vi2 a b) (Array.of_list b1) (Array.of_list b2)
+      in
+      let _, total = assign strategy matrix in
+      float_of_int (m - k) +. total
+    end
+  in
+  (head_distance +. body_total) /. float_of_int (m + 1)
+
+let event_description ?(strategy = Hungarian) kb1 kb2 =
+  set_distance ~strategy (fun a b -> rule ~strategy a b) kb1 kb2
+
+let similarity ?strategy kb1 kb2 = 1. -. event_description ?strategy kb1 kb2

@@ -1,0 +1,36 @@
+open Rtec
+
+type path = (string * int) list
+
+module M = Map.Make (String)
+
+type t = path list M.t
+
+let paths_in_term term =
+  let rec go prefix t acc =
+    match t with
+    | Term.Var v -> (v, List.rev prefix) :: acc
+    | Term.Atom _ | Term.Int _ | Term.Real _ -> acc
+    | Term.Compound (f, args) ->
+      let _, acc =
+        List.fold_left
+          (fun (i, acc) arg -> (i + 1, go ((f, i) :: prefix) arg acc))
+          (1, acc) args
+      in
+      acc
+  in
+  List.rev (go [] term [])
+
+let of_rule (r : Ast.rule) =
+  let add acc (v, path) =
+    M.update v (fun o -> Some (path :: Option.value ~default:[] o)) acc
+  in
+  let collect acc term = List.fold_left add acc (paths_in_term term) in
+  let raw = List.fold_left collect M.empty (r.head :: r.body) in
+  M.map (fun paths -> List.sort_uniq compare paths) raw
+
+let instances t v = Option.value ~default:[] (M.find_opt v t)
+
+let equal_instances t1 v1 t2 v2 =
+  let i1 = instances t1 v1 and i2 = instances t2 v2 in
+  i1 <> [] && i1 = i2

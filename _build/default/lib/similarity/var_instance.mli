@@ -1,0 +1,25 @@
+(** Variable instances (Definitions 4.7–4.10).
+
+    The concept a variable denotes inside a rule is identified by the set
+    of positions at which the variable occurs across the rule's
+    expressions. A position ({e instance}) is the path from the root of an
+    expression's tree representation to the variable's leaf: a list of
+    [(functor, argument-index)] steps with 1-based indices. *)
+
+type path = (string * int) list
+
+type t
+(** The [vi_r] map of the paper: variable name -> instances in rule [r]. *)
+
+val paths_in_term : Rtec.Term.t -> (string * path) list
+(** All variable instances in one expression, in depth-first order. *)
+
+val of_rule : Rtec.Ast.rule -> t
+(** Instances collected over the rule's head and every body literal. *)
+
+val instances : t -> string -> path list
+(** Sorted instance list of a variable ([[]] for unknown variables). *)
+
+val equal_instances : t -> string -> t -> string -> bool
+(** Whether two variables (in their respective rules) have equal instance
+    lists, i.e. refer to the same concept (Definition 4.11, cases 2–3). *)

@@ -1,0 +1,1 @@
+test/test_adg.ml: Adg Alcotest Ast Evaluation List Maritime Printer Printf Rtec Similarity String

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Dependency Format List Maritime Parser Rtec String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Check Engine Interval Knowledge List Parser Printf Rtec Stream String Term Window

@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Adg Alcotest Evaluation Interval Lazy List Maritime Parser Printf Rtec String Term

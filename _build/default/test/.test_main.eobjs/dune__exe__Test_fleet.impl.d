@@ -1,0 +1,1 @@
+test/test_fleet.ml: Adg Alcotest Check Dependency Domain Engine Fleet Format Interval Lazy List Rtec String Term Window

@@ -1,0 +1,1 @@
+test/test_hungarian.ml: Alcotest Array Assignment Float Greedy Kuhn_munkres List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval QCheck QCheck_alcotest Rtec

@@ -1,0 +1,1 @@
+test/test_maritime.ml: Alcotest Ast Engine Interval Knowledge Lazy List Maritime Option Printf Rtec Stream String Term Window

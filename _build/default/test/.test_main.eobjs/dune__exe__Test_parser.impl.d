@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Float List Maritime Parser Printer Printf QCheck QCheck_alcotest Rtec String Term

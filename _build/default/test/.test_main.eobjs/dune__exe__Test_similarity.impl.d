@@ -1,0 +1,1 @@
+test/test_similarity.ml: Adg Alcotest Array Ast Distance Float List Maritime Parser Printer QCheck QCheck_alcotest Rtec Similarity Unify Var_instance

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Interval Io Knowledge Lazy List Maritime Option Parser Rtec Stream Subst Term Unify

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest List QCheck QCheck_alcotest Rtec Subst Term Unify

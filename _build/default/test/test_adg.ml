@@ -1,0 +1,282 @@
+open Rtec
+
+(* --- prompts --- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_prompt_r () =
+  let r = Adg.Prompt.rtec_syntax () in
+  List.iter
+    (fun kw -> Alcotest.(check bool) ("prompt R mentions " ^ kw) true (contains ~needle:kw r))
+    [ "initiatedAt"; "terminatedAt"; "holdsFor"; "holdsAt"; "happensAt"; "union_all";
+      "intersect_all"; "relative_complement_all" ]
+
+let test_prompt_f_schemes () =
+  let cot = Adg.Prompt.fluent_kinds Adg.Prompt.Chain_of_thought in
+  let few = Adg.Prompt.fluent_kinds Adg.Prompt.Few_shot in
+  (* Chain-of-thought carries the explanation steps; few-shot does not. *)
+  Alcotest.(check bool) "CoT has explanations" true
+    (contains ~needle:"Answer: The activity 'withinArea' is expressed" cot);
+  Alcotest.(check bool) "few-shot omits explanations" false
+    (contains ~needle:"Answer: The activity 'withinArea' is expressed" few);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "both quote rule (1)" true
+        (contains ~needle:"happensAt(entersArea(Vessel, Area), T)" p);
+      Alcotest.(check bool) "both quote the underWay rule" true
+        (contains ~needle:"union_all([I1, I2, I3], I)" p))
+    [ cot; few ]
+
+let test_prompt_e_t () =
+  let e = Adg.Prompt.events_and_fluents () in
+  List.iter
+    (fun (it : Maritime.Vocabulary.item) ->
+      Alcotest.(check bool) ("prompt E lists " ^ it.name) true (contains ~needle:it.name e))
+    Maritime.Vocabulary.input_events;
+  Alcotest.(check bool) "prompt E lists proximity" true (contains ~needle:"proximity" e);
+  let t = Adg.Prompt.thresholds () in
+  List.iter
+    (fun (th : Maritime.Vocabulary.threshold) ->
+      Alcotest.(check bool) ("prompt T lists " ^ th.id) true (contains ~needle:th.id t))
+    Maritime.Vocabulary.thresholds
+
+let test_prompt_g_roundtrip () =
+  let entry = Maritime.Gold.entry "trawling" in
+  let g = Adg.Prompt.generation ~activity:"trawling" ~description:entry.nl in
+  match Adg.Prompt.extract_description g with
+  | Some d -> Alcotest.(check string) "description recovered" (String.trim entry.nl) d
+  | None -> Alcotest.fail "description not recovered from prompt G"
+
+(* --- error model --- *)
+
+let def name = Maritime.Gold.definition name
+
+let test_rename () =
+  let d = Adg.Error_model.apply (Adg.Error_model.Rename ("entersArea", "inArea")) (def "withinArea") in
+  let text = Printer.definition_to_string d in
+  Alcotest.(check bool) "renamed" true (contains ~needle:"inArea" text);
+  Alcotest.(check bool) "old name gone" false (contains ~needle:"entersArea" text)
+
+let test_transpose () =
+  let d =
+    Adg.Error_model.apply (Adg.Error_model.Transpose_args "areaType") (def "withinArea")
+  in
+  Alcotest.(check bool) "arguments reversed" true
+    (contains ~needle:"areaType(AreaType, Area)" (Printer.definition_to_string d))
+
+let test_confuse_union () =
+  let d = Adg.Error_model.apply Adg.Error_model.Confuse_union (def "underWay") in
+  let text = Printer.definition_to_string d in
+  Alcotest.(check bool) "union replaced" false (contains ~needle:"union_all" text);
+  Alcotest.(check bool) "intersect present" true (contains ~needle:"intersect_all" text)
+
+let test_wrong_kind_sd () =
+  let d = Adg.Error_model.apply Adg.Error_model.Wrong_kind (def "trawling") in
+  Alcotest.(check bool) "now a simple fluent" true
+    (List.for_all
+       (fun r ->
+         match Ast.kind_of_rule r with
+         | Some (Ast.Initiated _ | Ast.Terminated _) -> true
+         | _ -> false)
+       d.rules)
+
+let test_wrong_kind_simple () =
+  let d = Adg.Error_model.apply Adg.Error_model.Wrong_kind (def "movingSpeed") in
+  Alcotest.(check bool) "now statically determined" true
+    (List.for_all
+       (fun r ->
+         match Ast.kind_of_rule r with Some (Ast.Holds_for _) -> true | _ -> false)
+       d.rules);
+  (* one holdsFor rule per value of the multi-valued fluent *)
+  Alcotest.(check int) "three values" 3 (List.length d.rules)
+
+let test_drop_rule_and_condition () =
+  let base = def "withinArea" in
+  let dropped = Adg.Error_model.apply (Adg.Error_model.Drop_rule 2) base in
+  Alcotest.(check int) "one rule fewer" (List.length base.rules - 1)
+    (List.length dropped.rules);
+  let narrowed = Adg.Error_model.apply (Adg.Error_model.Drop_condition 0) base in
+  Alcotest.(check int) "one condition fewer"
+    (List.length (List.hd base.rules).body - 1)
+    (List.length (List.hd narrowed.rules).body)
+
+let test_extra_rule_and_redundant () =
+  let base = def "trawling" in
+  let extra = Adg.Error_model.apply Adg.Error_model.Extra_rule base in
+  Alcotest.(check int) "one extra rule" (List.length base.rules + 1)
+    (List.length extra.rules);
+  let redundant = Adg.Error_model.apply Adg.Error_model.Add_redundant base in
+  Alcotest.(check int) "one extra condition"
+    (List.length (List.hd base.rules).body + 1)
+    (List.length (List.hd redundant.rules).body)
+
+let test_replace_reference () =
+  let d =
+    Adg.Error_model.apply
+      (Adg.Error_model.Replace_reference ("trawlSpeed", "towingSpeed"))
+      (def "trawling")
+  in
+  let text = Printer.definition_to_string d in
+  Alcotest.(check bool) "reference replaced" true (contains ~needle:"towingSpeed" text)
+
+let test_synonyms_bijective_enough () =
+  (* canonical_of inverts variant_of for every entry. *)
+  List.iter
+    (fun (c, v) ->
+      Alcotest.(check (option string)) ("canonical of " ^ v) (Some c)
+        (Adg.Error_model.canonical_of v))
+    Adg.Error_model.synonyms
+
+(* --- profiles and sessions --- *)
+
+let test_profiles_deterministic () =
+  let p = Adg.Profiles.find ~model:"GPT-4o" ~scheme:Adg.Prompt.Chain_of_thought in
+  let m1 = Adg.Profiles.mutations_for p ~activity:"trawling" in
+  let m2 = Adg.Profiles.mutations_for p ~activity:"trawling" in
+  Alcotest.(check bool) "same mutations twice" true (m1 = m2)
+
+let test_profiles_pinned_present () =
+  let p = Adg.Profiles.find ~model:"Gemma-2" ~scheme:Adg.Prompt.Chain_of_thought in
+  let ms = Adg.Profiles.mutations_for p ~activity:"trawling" in
+  Alcotest.(check bool) "wrong kind pinned for Gemma-2 trawling" true
+    (List.mem Adg.Error_model.Wrong_kind ms)
+
+let test_session_runs () =
+  let p = Adg.Profiles.find ~model:"o1" ~scheme:Adg.Prompt.Few_shot in
+  let session = Adg.Session.run (Adg.Profiles.backend p) in
+  Alcotest.(check int) "one definition per gold entry"
+    (List.length Maritime.Gold.entries)
+    (List.length session.definitions);
+  Alcotest.(check int) "preamble plus one exchange per activity"
+    (4 + List.length Maritime.Gold.entries)
+    (List.length session.transcript);
+  Alcotest.(check int) "everything parses" 0 (List.length (Adg.Session.parse_failures session));
+  (* The o1 trawlSpeed definition uses the 'trawlingArea' constant the
+     paper had to rename back to 'fishing'. *)
+  match
+    List.find_opt
+      (fun (d : Adg.Session.generated_definition) -> d.activity = "trawlSpeed")
+      session.definitions
+  with
+  | Some d -> Alcotest.(check bool) "trawlingArea present" true
+                (contains ~needle:"trawlingArea" d.raw)
+  | None -> Alcotest.fail "no trawlSpeed definition"
+
+let test_reported_scheme_wins () =
+  List.iter
+    (fun model ->
+      let sim scheme =
+        let g = Evaluation.Experiments.generate ~model ~scheme in
+        g.average
+      in
+      let reported = Adg.Profiles.reported_scheme model in
+      let other =
+        match reported with
+        | Adg.Prompt.Few_shot -> Adg.Prompt.Chain_of_thought
+        | Adg.Prompt.Chain_of_thought -> Adg.Prompt.Few_shot
+      in
+      Alcotest.(check bool)
+        (model ^ ": reported scheme is at least as good")
+        true
+        (sim reported >= sim other))
+    Adg.Profiles.models
+
+(* --- correction --- *)
+
+let test_edit_distance () =
+  Alcotest.(check int) "identical" 0 (Adg.Correction.edit_distance "abc" "abc");
+  Alcotest.(check int) "substitution" 1 (Adg.Correction.edit_distance "abc" "abd");
+  Alcotest.(check int) "insertion" 1 (Adg.Correction.edit_distance "abc" "abcd");
+  Alcotest.(check int) "deletion" 1 (Adg.Correction.edit_distance "abc" "ab");
+  Alcotest.(check int) "kitten/sitting" 3 (Adg.Correction.edit_distance "kitten" "sitting")
+
+let test_correction_fixes_synonyms () =
+  let mutated =
+    Adg.Error_model.apply_all
+      [ Adg.Error_model.Rename ("leavesArea", "exitsArea");
+        Adg.Error_model.Rename ("fishing", "trawlingArea") ]
+      (def "trawlSpeed")
+  in
+  let ed, report =
+    Adg.Correction.correct_event_description ~known:Maritime.Vocabulary.known_names
+      [ mutated ]
+  in
+  let text = Printer.event_description_to_string ed in
+  Alcotest.(check bool) "leavesArea restored" true (contains ~needle:"leavesArea" text);
+  Alcotest.(check bool) "no leftover variant" false (contains ~needle:"exitsArea" text);
+  Alcotest.(check bool) "trawlingArea mapped back to fishing" true
+    (contains ~needle:"fishing" text && not (contains ~needle:"trawlingArea" text));
+  Alcotest.(check int) "two changes" 2 (List.length report.changes)
+
+let test_correction_realigns_heads () =
+  let renamed = Adg.Error_model.apply (Adg.Error_model.Rename ("trawling", "illegalTowing")) (def "trawling") in
+  let ed, report =
+    Adg.Correction.correct_event_description ~known:Maritime.Vocabulary.known_names
+      [ renamed ]
+  in
+  (match Ast.definition ed "trawling" with
+  | Some d -> (
+    match Ast.head_indicator (List.hd d.rules) with
+    | Some ("trawling", 1) -> ()
+    | _ -> Alcotest.fail "head not realigned")
+  | None -> Alcotest.fail "definition lost");
+  Alcotest.(check bool) "a change was recorded" true (report.changes <> [])
+
+let test_correction_preserves_semantics_errors () =
+  (* The corrector must not fix union/intersect confusion. *)
+  let confused = Adg.Error_model.apply Adg.Error_model.Confuse_union (def "loitering") in
+  let ed, _ =
+    Adg.Correction.correct_event_description ~known:Maritime.Vocabulary.known_names
+      [ confused ]
+  in
+  Alcotest.(check bool) "intersect_all still there" true
+    (contains ~needle:"intersect_all" (Printer.event_description_to_string ed))
+
+let test_correction_improves_similarity () =
+  let p = Adg.Profiles.find ~model:"o1" ~scheme:Adg.Prompt.Few_shot in
+  let session = Adg.Session.run (Adg.Profiles.backend p) in
+  let before =
+    Evaluation.Experiments.similarity_of_definition session "trawling"
+  in
+  let ed, _ = Adg.Correction.correct session in
+  let after =
+    match Ast.definition ed "trawling" with
+    | Some d -> Similarity.Distance.similarity d.rules (def "trawling").rules
+    | None -> 0.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "correction does not hurt (%.3f -> %.3f)" before after)
+    true (after >= before)
+
+let suite =
+  [
+    Alcotest.test_case "prompt R covers the RTEC predicates" `Quick test_prompt_r;
+    Alcotest.test_case "prompt F: chain-of-thought vs few-shot" `Quick test_prompt_f_schemes;
+    Alcotest.test_case "prompts E and T quote the vocabulary" `Quick test_prompt_e_t;
+    Alcotest.test_case "prompt G description round-trips" `Quick test_prompt_g_roundtrip;
+    Alcotest.test_case "mutation: rename" `Quick test_rename;
+    Alcotest.test_case "mutation: transpose arguments" `Quick test_transpose;
+    Alcotest.test_case "mutation: union/intersect confusion" `Quick test_confuse_union;
+    Alcotest.test_case "mutation: wrong kind (SD to simple)" `Quick test_wrong_kind_sd;
+    Alcotest.test_case "mutation: wrong kind (simple to SD)" `Quick test_wrong_kind_simple;
+    Alcotest.test_case "mutation: drop rule / condition" `Quick test_drop_rule_and_condition;
+    Alcotest.test_case "mutation: extra rule / redundant condition" `Quick
+      test_extra_rule_and_redundant;
+    Alcotest.test_case "mutation: undefined reference" `Quick test_replace_reference;
+    Alcotest.test_case "synonym lexicon inverts" `Quick test_synonyms_bijective_enough;
+    Alcotest.test_case "profiles are deterministic" `Quick test_profiles_deterministic;
+    Alcotest.test_case "pinned mutations are applied" `Quick test_profiles_pinned_present;
+    Alcotest.test_case "a session generates every activity" `Quick test_session_runs;
+    Alcotest.test_case "the reported scheme wins" `Quick test_reported_scheme_wins;
+    Alcotest.test_case "edit distance" `Quick test_edit_distance;
+    Alcotest.test_case "correction fixes naming errors" `Quick test_correction_fixes_synonyms;
+    Alcotest.test_case "correction realigns activity heads" `Quick
+      test_correction_realigns_heads;
+    Alcotest.test_case "correction leaves semantic errors" `Quick
+      test_correction_preserves_semantics_errors;
+    Alcotest.test_case "correction improves similarity" `Quick
+      test_correction_improves_similarity;
+  ]

@@ -1,0 +1,170 @@
+open Rtec
+
+let ed_of source = [ Parser.parse_definition ~name:"test" source ]
+
+let errors ?vocabulary ed =
+  List.filter (fun d -> d.Check.severity = Check.Error) (Check.check ?vocabulary ed)
+
+let warnings ?vocabulary ed =
+  List.filter (fun d -> d.Check.severity = Check.Warning) (Check.check ?vocabulary ed)
+
+let test_gold_is_well_formed () =
+  let diags =
+    errors ~vocabulary:Maritime.Vocabulary.check_vocabulary Maritime.Gold.event_description
+  in
+  List.iter (fun d -> Format.eprintf "%a@." Check.pp_diagnostic d) diags;
+  Alcotest.(check int) "no errors in the gold event description" 0 (List.length diags);
+  Alcotest.(check bool) "usable" true
+    (Check.usable ~vocabulary:Maritime.Vocabulary.check_vocabulary
+       Maritime.Gold.event_description)
+
+let test_first_literal_discipline () =
+  (* Definition 2.2: the first body literal of a simple rule must be a
+     positive happensAt. *)
+  let bad = ed_of "initiatedAt(f(V) = true, T) :- holdsAt(g(V) = true, T)." in
+  Alcotest.(check bool) "holdsAt first is an error" true (errors bad <> []);
+  let bad2 = ed_of "initiatedAt(f(V) = true, T) :- not happensAt(e(V), T)." in
+  Alcotest.(check bool) "negative first literal is an error" true (errors bad2 <> []);
+  let ok =
+    ed_of "initiatedAt(f(V) = true, T) :- happensAt(e(V), T), not happensAt(g(V), T)."
+  in
+  Alcotest.(check int) "positive happensAt first is fine" 0 (List.length (errors ok))
+
+let test_empty_body () =
+  let bad = ed_of "initiatedAt(f(V) = true, T)." in
+  Alcotest.(check bool) "empty body flagged" true (errors bad <> [])
+
+let test_time_point_discipline () =
+  let sketchy =
+    ed_of
+      "initiatedAt(f(V) = true, T) :- happensAt(e(V), T), holdsAt(g(V) = true, T2)."
+  in
+  Alcotest.(check bool) "different time-point warned" true (warnings sketchy <> [])
+
+let test_mixed_kind () =
+  let mixed =
+    ed_of
+      "initiatedAt(f(V) = true, T) :- happensAt(e(V), T).\n\
+       holdsFor(f(V) = true, I) :- holdsFor(g(V) = true, I1), union_all([I1], I)."
+  in
+  Alcotest.(check bool) "mixed fluent kind is an error" true (errors mixed <> [])
+
+let test_sd_first_literal () =
+  let bad =
+    ed_of "holdsFor(f(V) = true, I) :- holdsFor(f(V) = true, I1), union_all([I1], I)."
+  in
+  Alcotest.(check bool) "first literal must concern a different FVP" true (errors bad <> [])
+
+let test_sd_dataflow () =
+  let unbound_use =
+    ed_of
+      "holdsFor(f(V) = true, I) :- holdsFor(g(V) = true, I1), union_all([I1, I2], I)."
+  in
+  Alcotest.(check bool) "unbound interval variable" true (errors unbound_use <> []);
+  let unproduced_head =
+    ed_of "holdsFor(f(V) = true, I) :- holdsFor(g(V) = true, I1), union_all([I1], I2)."
+  in
+  Alcotest.(check bool) "head interval never produced" true (errors unproduced_head <> []);
+  let double_bind =
+    ed_of
+      "holdsFor(f(V) = true, I) :- holdsFor(g(V) = true, I1), holdsFor(h(V) = true, I1), \
+       union_all([I1], I)."
+  in
+  Alcotest.(check bool) "interval variable bound twice" true (errors double_bind <> []);
+  let happens_in_sd =
+    ed_of "holdsFor(f(V) = true, I) :- holdsFor(g(V) = true, I), happensAt(e(V), T)."
+  in
+  Alcotest.(check bool) "happensAt in holdsFor body" true (errors happens_in_sd <> [])
+
+let test_vocabulary_checks () =
+  let vocabulary =
+    { Check.input_events = [ ("e", 1) ]; input_fluents = []; background = [ ("bg", 2) ] }
+  in
+  let undefined_event = ed_of "initiatedAt(f(V) = true, T) :- happensAt(zap(V), T)." in
+  Alcotest.(check bool) "undefined event" true (errors ~vocabulary undefined_event <> []);
+  let undefined_activity =
+    ed_of
+      "initiatedAt(f(V) = true, T) :- happensAt(e(V), T), holdsAt(ghost(V) = true, T)."
+  in
+  Alcotest.(check bool) "undefined activity (error category 3)" true
+    (errors ~vocabulary undefined_activity <> []);
+  let unknown_background =
+    ed_of "initiatedAt(f(V) = true, T) :- happensAt(e(V), T), weird(V, X)."
+  in
+  Alcotest.(check bool) "unknown background predicate warned" true
+    (warnings ~vocabulary unknown_background <> []);
+  let defined_reference_ok =
+    ed_of
+      "initiatedAt(g(V) = true, T) :- happensAt(e(V), T).\n\
+       initiatedAt(f(V) = true, T) :- happensAt(e(V), T), not holdsAt(g(V) = true, T)."
+  in
+  Alcotest.(check int) "defined fluents may be referenced" 0
+    (List.length (errors ~vocabulary defined_reference_ok));
+  (* A fluent referring to itself is a dependency cycle. *)
+  let self_reference =
+    ed_of
+      "initiatedAt(f(V) = true, T) :- happensAt(e(V), T), not holdsAt(f(V) = true, T)."
+  in
+  Alcotest.(check bool) "self-reference is rejected as a cycle" true
+    (errors ~vocabulary self_reference <> [])
+
+let test_bad_head () =
+  let bad = ed_of "frobnicate(f(V), T) :- happensAt(e(V), T)." in
+  Alcotest.(check bool) "unknown head shape" true (errors bad <> [])
+
+let test_dependency_analysis () =
+  let deps = Dependency.analyse Maritime.Gold.event_description in
+  (match Dependency.evaluation_order deps with
+  | Error e -> Alcotest.failf "gold should stratify: %s" e
+  | Ok order ->
+    let pos name =
+      let rec go i = function
+        | [] -> Alcotest.failf "%s not in order" name
+        | (f, _) :: rest -> if String.equal f name then i else go (i + 1) rest
+      in
+      go 0 order
+    in
+    Alcotest.(check bool) "movingSpeed before underWay" true
+      (pos "movingSpeed" < pos "underWay");
+    Alcotest.(check bool) "underWay before drifting" true (pos "underWay" < pos "drifting");
+    Alcotest.(check bool) "stopped before anchoredOrMoored" true
+      (pos "stopped" < pos "anchoredOrMoored");
+    Alcotest.(check bool) "anchoredOrMoored before loitering" true
+      (pos "anchoredOrMoored" < pos "loitering"));
+  (match Dependency.info deps ("withinArea", 2) with
+  | None -> Alcotest.fail "withinArea not analysed"
+  | Some info ->
+    Alcotest.(check bool) "withinArea is simple" true
+      (info.fluent_class = Dependency.Simple));
+  match Dependency.info deps ("underWay", 1) with
+  | None -> Alcotest.fail "underWay not analysed"
+  | Some info ->
+    Alcotest.(check bool) "underWay is statically determined" true
+      (info.fluent_class = Dependency.Statically_determined)
+
+let test_external_indicators () =
+  let deps = Dependency.analyse Maritime.Gold.event_description in
+  let externals = Dependency.external_indicators deps in
+  Alcotest.(check bool) "proximity is external" true (List.mem ("proximity", 2) externals);
+  Alcotest.(check bool) "velocity event is external" true
+    (List.mem ("velocity", 4) externals);
+  Alcotest.(check bool) "trawling is not external" false
+    (List.mem ("trawling", 1) externals)
+
+let suite =
+  [
+    Alcotest.test_case "gold event description is well-formed" `Quick
+      test_gold_is_well_formed;
+    Alcotest.test_case "first-literal discipline (Def 2.2)" `Quick
+      test_first_literal_discipline;
+    Alcotest.test_case "empty bodies rejected" `Quick test_empty_body;
+    Alcotest.test_case "time-point discipline warned" `Quick test_time_point_discipline;
+    Alcotest.test_case "mixed fluent kinds rejected" `Quick test_mixed_kind;
+    Alcotest.test_case "SD first literal (Def 2.4)" `Quick test_sd_first_literal;
+    Alcotest.test_case "SD interval dataflow" `Quick test_sd_dataflow;
+    Alcotest.test_case "vocabulary checks" `Quick test_vocabulary_checks;
+    Alcotest.test_case "bad head shapes rejected" `Quick test_bad_head;
+    Alcotest.test_case "dependency analysis of the gold hierarchy" `Quick
+      test_dependency_analysis;
+    Alcotest.test_case "external indicators" `Quick test_external_indicators;
+  ]

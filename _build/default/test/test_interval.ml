@@ -1,0 +1,178 @@
+open Rtec
+
+let check_spans msg expected actual =
+  Alcotest.(check (list (pair int int))) msg expected (Interval.to_list actual)
+
+let test_make_rejects_empty () =
+  Alcotest.check_raises "empty span" (Invalid_argument "Interval.make: empty span")
+    (fun () -> ignore (Interval.make 5 5))
+
+let test_of_list_merges () =
+  check_spans "overlap merges" [ (1, 8) ] (Interval.of_list [ (1, 5); (3, 8) ]);
+  check_spans "adjacent merges" [ (1, 9) ] (Interval.of_list [ (1, 5); (5, 9) ]);
+  check_spans "disjoint kept" [ (1, 3); (5, 7) ] (Interval.of_list [ (5, 7); (1, 3) ]);
+  check_spans "empty pairs dropped" [ (1, 3) ] (Interval.of_list [ (1, 3); (4, 4); (6, 5) ])
+
+let test_mem () =
+  let i = Interval.of_list [ (2, 5); (9, 12) ] in
+  Alcotest.(check bool) "inside" true (Interval.mem 3 i);
+  Alcotest.(check bool) "start is inside" true (Interval.mem 2 i);
+  Alcotest.(check bool) "stop is outside" false (Interval.mem 5 i);
+  Alcotest.(check bool) "gap" false (Interval.mem 7 i)
+
+let test_duration () =
+  Alcotest.(check int) "sums spans" 6 (Interval.duration (Interval.of_list [ (2, 5); (9, 12) ]));
+  Alcotest.(check int) "open is infinite" Interval.infinity
+    (Interval.duration [ Interval.make 3 Interval.infinity ])
+
+let test_clamp () =
+  let i = Interval.of_list [ (2, 5); (9, 12) ] in
+  check_spans "clamps both sides" [ (3, 5); (9, 10) ] (Interval.clamp 3 10 i);
+  check_spans "clamp can empty" [] (Interval.clamp 5 9 i);
+  check_spans "clamps open interval" [ (4, 10) ]
+    (Interval.clamp 0 10 [ Interval.make 4 Interval.infinity ])
+
+let test_union () =
+  check_spans "union merges" [ (1, 7); (9, 12) ]
+    (Interval.union (Interval.of_list [ (1, 4); (9, 12) ]) (Interval.of_list [ (3, 7) ]))
+
+let test_inter () =
+  check_spans "intersection" [ (3, 4); (9, 10) ]
+    (Interval.inter
+       (Interval.of_list [ (1, 4); (9, 12) ])
+       (Interval.of_list [ (3, 7); (8, 10) ]));
+  check_spans "disjoint" []
+    (Interval.inter (Interval.of_list [ (1, 3) ]) (Interval.of_list [ (4, 6) ]))
+
+let test_diff () =
+  check_spans "subtracts" [ (1, 3); (6, 8) ]
+    (Interval.diff (Interval.of_list [ (1, 8) ]) (Interval.of_list [ (3, 6) ]));
+  check_spans "splitting" [ (1, 2); (4, 5) ]
+    (Interval.diff (Interval.of_list [ (1, 5) ]) (Interval.of_list [ (2, 4) ]))
+
+let test_union_all () =
+  check_spans "three lists" [ (1, 10) ]
+    (Interval.union_all
+       [ Interval.of_list [ (1, 4) ]; Interval.of_list [ (3, 7) ]; Interval.of_list [ (7, 10) ] ])
+
+let test_intersect_all () =
+  check_spans "three lists" [ (3, 4) ]
+    (Interval.intersect_all
+       [ Interval.of_list [ (1, 4) ]; Interval.of_list [ (3, 7) ]; Interval.of_list [ (2, 5) ] ]);
+  check_spans "no lists is empty" [] (Interval.intersect_all [])
+
+let test_relative_complement_all () =
+  check_spans "removes union of operands" [ (1, 2); (5, 6) ]
+    (Interval.relative_complement_all
+       (Interval.of_list [ (1, 6) ])
+       [ Interval.of_list [ (2, 3) ]; Interval.of_list [ (3, 5) ] ])
+
+let test_from_points_basic () =
+  (* Initiation at 3 means the fluent holds from 4; termination at 7 means
+     it last holds at 7. *)
+  check_spans "init/term pairing" [ (4, 8) ]
+    (Interval.from_points ~starts:[ 3 ] ~stops:[ 7 ]);
+  check_spans "intermediate initiations ignored" [ (4, 8) ]
+    (Interval.from_points ~starts:[ 3; 5; 6 ] ~stops:[ 7 ]);
+  check_spans "unmatched initiation stays open" [ (4, 8); (10, Interval.infinity) ]
+    (Interval.from_points ~starts:[ 3; 9 ] ~stops:[ 7 ]);
+  check_spans "termination before initiation is ignored" [ (4, Interval.infinity) ]
+    (Interval.from_points ~starts:[ 3 ] ~stops:[ 1 ])
+
+let test_from_points_same_point () =
+  (* Initiation wins a tie: initiatedAt(F, T) makes the fluent hold at
+     T + 1 even if terminatedAt(F, T) also fires (canonical Event Calculus
+     inertia; RTEC pairs an initiation with the first termination strictly
+     after it). *)
+  check_spans "simultaneous initiation and termination starts a period"
+    [ (4, Interval.infinity) ]
+    (Interval.from_points ~starts:[ 3 ] ~stops:[ 3 ]);
+  (* Re-initiation exactly at a termination point keeps the fluent alive
+     continuously: (1,3] and (3,...] amalgamate. *)
+  check_spans "re-initiation at termination point merges" [ (2, Interval.infinity) ]
+    (Interval.from_points ~starts:[ 1; 3 ] ~stops:[ 3 ]);
+  (* A later termination then closes the re-initiated period. *)
+  check_spans "re-initiation closed by a later termination" [ (2, 6) ]
+    (Interval.from_points ~starts:[ 1; 3 ] ~stops:[ 3; 5 ])
+
+(* --- qcheck properties --- *)
+
+let spans_gen =
+  QCheck.Gen.(
+    list_size (int_bound 8) (pair (int_bound 100) (int_bound 100))
+    >|= Interval.of_list)
+
+let arbitrary_spans = QCheck.make ~print:Interval.to_string spans_gen
+
+let well_formed i =
+  let rec ok = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      a.Interval.stop > a.Interval.start && a.Interval.stop < b.Interval.start && ok rest
+  in
+  (match i with [ x ] -> x.Interval.stop > x.Interval.start | _ -> true) && ok i
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let properties =
+  [
+    prop "union is well-formed" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> well_formed (Interval.union a b));
+    prop "inter is well-formed" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> well_formed (Interval.inter a b));
+    prop "diff is well-formed" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> well_formed (Interval.diff a b));
+    prop "union commutes" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> Interval.equal (Interval.union a b) (Interval.union b a));
+    prop "inter commutes" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> Interval.equal (Interval.inter a b) (Interval.inter b a));
+    prop "union is idempotent" 300 arbitrary_spans (fun a ->
+        Interval.equal (Interval.union a a) a);
+    prop "inter with itself is identity" 300 arbitrary_spans (fun a ->
+        Interval.equal (Interval.inter a a) a);
+    prop "mem distributes over union" 300
+      (QCheck.triple QCheck.small_nat arbitrary_spans arbitrary_spans)
+      (fun (t, a, b) ->
+        Interval.mem t (Interval.union a b) = (Interval.mem t a || Interval.mem t b));
+    prop "mem distributes over inter" 300
+      (QCheck.triple QCheck.small_nat arbitrary_spans arbitrary_spans)
+      (fun (t, a, b) ->
+        Interval.mem t (Interval.inter a b) = (Interval.mem t a && Interval.mem t b));
+    prop "diff removes second operand" 300
+      (QCheck.triple QCheck.small_nat arbitrary_spans arbitrary_spans)
+      (fun (t, a, b) ->
+        Interval.mem t (Interval.diff a b) = (Interval.mem t a && not (Interval.mem t b)));
+    prop "duration of union bounded by sum" 300
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) ->
+        Interval.duration (Interval.union a b) <= Interval.duration a + Interval.duration b);
+    prop "relative complement is within base" 300
+      (QCheck.triple arbitrary_spans arbitrary_spans arbitrary_spans)
+      (fun (base, l1, l2) ->
+        let rc = Interval.relative_complement_all base [ l1; l2 ] in
+        Interval.equal rc (Interval.inter rc base));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "make rejects empty spans" `Quick test_make_rejects_empty;
+    Alcotest.test_case "of_list normalises" `Quick test_of_list_merges;
+    Alcotest.test_case "mem half-open semantics" `Quick test_mem;
+    Alcotest.test_case "duration" `Quick test_duration;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "union_all" `Quick test_union_all;
+    Alcotest.test_case "intersect_all" `Quick test_intersect_all;
+    Alcotest.test_case "relative_complement_all" `Quick test_relative_complement_all;
+    Alcotest.test_case "from_points pairing" `Quick test_from_points_basic;
+    Alcotest.test_case "from_points same-point cases" `Quick test_from_points_same_point;
+  ]
+  @ properties

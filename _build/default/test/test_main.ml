@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "adg"
+    [
+      ("term", Test_term.suite);
+      ("interval", Test_interval.suite);
+      ("parser", Test_parser.suite);
+      ("hungarian", Test_hungarian.suite);
+      ("similarity", Test_similarity.suite);
+      ("engine", Test_engine.suite);
+      ("check", Test_check.suite);
+      ("stream", Test_stream.suite);
+      ("maritime", Test_maritime.suite);
+      ("fleet", Test_fleet.suite);
+      ("differential", Test_differential.suite);
+      ("adg", Test_adg.suite);
+      ("evaluation", Test_evaluation.suite);
+    ]

@@ -1,0 +1,187 @@
+open Rtec
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+
+let test_parse_atom_and_var () =
+  Alcotest.check term_testable "atom" (Term.Atom "fishing") (Parser.parse_term "fishing");
+  Alcotest.check term_testable "variable" (Term.Var "Vessel") (Parser.parse_term "Vessel");
+  Alcotest.check term_testable "quoted atom" (Term.Atom "hello world")
+    (Parser.parse_term "'hello world'")
+
+let test_parse_numbers () =
+  Alcotest.check term_testable "int" (Term.Int 42) (Parser.parse_term "42");
+  Alcotest.check term_testable "real" (Term.Real 2.5) (Parser.parse_term "2.5");
+  Alcotest.check term_testable "negative" (Term.Int (-7)) (Parser.parse_term "-7")
+
+let test_parse_compound () =
+  Alcotest.check term_testable "nested"
+    (Term.app "happensAt" [ Term.app "entersArea" [ Term.Var "Vl"; Term.Var "A" ]; Term.Var "T" ])
+    (Parser.parse_term "happensAt(entersArea(Vl, A), T)")
+
+let test_parse_fvp () =
+  Alcotest.check term_testable "equality is infix"
+    (Term.eq (Term.app "withinArea" [ Term.Var "Vl"; Term.Atom "fishing" ]) (Term.Atom "true"))
+    (Parser.parse_term "withinArea(Vl, fishing) = true")
+
+let test_parse_comparison_and_arith () =
+  Alcotest.check term_testable "comparison"
+    (Term.Compound (">", [ Term.Var "Speed"; Term.Var "Max" ]))
+    (Parser.parse_term "Speed > Max");
+  Alcotest.check term_testable "arithmetic is left-associative"
+    (Term.Compound
+       (">",
+        [ Term.Compound ("-", [ Term.Var "CoG"; Term.Var "Heading" ]); Term.Var "Thr" ]))
+    (Parser.parse_term "CoG - Heading > Thr");
+  Alcotest.check term_testable "precedence * over +"
+    (Term.Compound
+       ("+", [ Term.Var "A"; Term.Compound ("*", [ Term.Var "B"; Term.Var "C" ]) ]))
+    (Parser.parse_term "A + B * C")
+
+let test_parse_list () =
+  Alcotest.check term_testable "interval list"
+    (Term.list_ [ Term.Var "I1"; Term.Var "I2" ])
+    (Parser.parse_term "[I1, I2]");
+  Alcotest.check term_testable "empty list" (Term.list_ []) (Parser.parse_term "[]")
+
+let test_parse_clause () =
+  let rules =
+    Parser.parse_clauses
+      "initiatedAt(withinArea(Vl, AreaType) = true, T) :- \
+       happensAt(entersArea(Vl, Area), T), areaType(Area, AreaType)."
+  in
+  Alcotest.(check int) "one rule" 1 (List.length rules);
+  let r = List.hd rules in
+  Alcotest.(check int) "two body literals" 2 (List.length r.Ast.body)
+
+let test_parse_fact () =
+  let rules = Parser.parse_clauses "areaType(a1, fishing)." in
+  Alcotest.(check int) "fact has empty body" 0 (List.length (List.hd rules).Ast.body)
+
+let test_parse_negation () =
+  let rules =
+    Parser.parse_clauses
+      "initiatedAt(gap(Vl) = farFromPorts, T) :- happensAt(gap_start(Vl), T), \
+       not holdsAt(withinArea(Vl, nearPorts) = true, T)."
+  in
+  let r = List.hd rules in
+  let positive, _ = Term.strip_not (List.nth r.Ast.body 1) in
+  Alcotest.(check bool) "second literal is negative" false positive
+
+let test_parse_comments () =
+  let rules =
+    Parser.parse_clauses
+      "% line comment\n/* block\ncomment */\nareaType(a1, fishing). % trailing"
+  in
+  Alcotest.(check int) "comments ignored" 1 (List.length rules)
+
+let test_parse_errors () =
+  let fails input =
+    match Parser.parse_clauses_result input with
+    | Ok _ -> Alcotest.failf "expected parse failure on %S" input
+    | Error _ -> ()
+  in
+  fails "initiatedAt(f = v, T) :- happensAt(e, T)";
+  (* missing final period *)
+  fails "initiatedAt(f = v, T) :- .";
+  fails "foo(";
+  fails "foo)).";
+  fails "@@@."
+
+let test_error_line_numbers () =
+  match Parser.parse_clauses_result "areaType(a1, fishing).\nbroken(" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentions line 2: %s" msg)
+      true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+
+let test_roundtrip_gold () =
+  (* Printing and re-parsing every gold rule is the identity. *)
+  List.iter
+    (fun (e : Maritime.Gold.entry) ->
+      let d = Rtec.Parser.parse_definition ~name:e.name e.source in
+      let printed = Printer.definition_to_string d in
+      let reparsed = Parser.parse_clauses printed in
+      Alcotest.(check int)
+        (Printf.sprintf "%s rule count preserved" e.name)
+        (List.length d.rules) (List.length reparsed);
+      List.iter2
+        (fun (r1 : Ast.rule) (r2 : Ast.rule) ->
+          Alcotest.check term_testable "head round-trips" r1.head r2.head;
+          List.iter2 (Alcotest.check term_testable "literal round-trips") r1.body r2.body)
+        d.rules reparsed)
+    Maritime.Gold.entries
+
+let test_ast_kinds () =
+  let d = Maritime.Gold.definition "withinArea" in
+  (match Ast.kind_of_rule (List.hd d.rules) with
+  | Some (Ast.Initiated { time = Term.Var "T"; _ }) -> ()
+  | _ -> Alcotest.fail "expected initiatedAt kind");
+  let u = Maritime.Gold.definition "underWay" in
+  match Ast.kind_of_rule (List.hd u.rules) with
+  | Some (Ast.Holds_for { interval = Term.Var "I"; _ }) -> ()
+  | _ -> Alcotest.fail "expected holdsFor kind"
+
+let test_ast_merge () =
+  let a = [ { Ast.name = "x"; rules = Parser.parse_clauses "p(a)." } ] in
+  let b =
+    [ { Ast.name = "x"; rules = Parser.parse_clauses "p(b)." };
+      { Ast.name = "y"; rules = Parser.parse_clauses "q(a)." } ]
+  in
+  let merged = Ast.merge a b in
+  Alcotest.(check int) "two definitions" 2 (List.length merged);
+  match Ast.definition merged "x" with
+  | Some d -> Alcotest.(check int) "rules merged" 2 (List.length d.rules)
+  | None -> Alcotest.fail "definition x lost"
+
+(* Printing then re-parsing a random term is the identity. *)
+let term_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [ map (fun i -> Term.Int i) (int_bound 1000);
+        map (fun f -> Term.Real (Float.of_int f /. 4.)) (int_bound 1000);
+        oneofl [ Term.Atom "a"; Term.Atom "fishing"; Term.Atom "gap_start" ];
+        oneofl [ Term.Var "X"; Term.Var "Speed"; Term.Var "T" ] ]
+  in
+  let rec go depth =
+    if depth = 0 then base
+    else
+      frequency
+        [ (3, base);
+          (2,
+           map2 Term.app
+             (oneofl [ "p"; "happensAt"; "entersArea" ])
+             (list_size (int_range 1 3) (go (depth - 1))));
+          (1, map2 Term.eq (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun ts -> Term.list_ ts) (list_size (int_bound 3) (go (depth - 1))));
+          (1, map Term.neg (go (depth - 1))) ]
+  in
+  go 3
+
+let prop_print_parse_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"print/parse round-trip on random terms" ~count:500
+       (QCheck.make ~print:Term.to_string term_gen)
+       (fun t -> Term.equal t (Parser.parse_term (Term.to_string t))))
+
+let suite =
+  [
+    prop_print_parse_roundtrip;
+    Alcotest.test_case "atoms and variables" `Quick test_parse_atom_and_var;
+    Alcotest.test_case "numbers" `Quick test_parse_numbers;
+    Alcotest.test_case "compound terms" `Quick test_parse_compound;
+    Alcotest.test_case "fluent-value pairs" `Quick test_parse_fvp;
+    Alcotest.test_case "comparisons and arithmetic" `Quick test_parse_comparison_and_arith;
+    Alcotest.test_case "lists" `Quick test_parse_list;
+    Alcotest.test_case "clauses" `Quick test_parse_clause;
+    Alcotest.test_case "facts" `Quick test_parse_fact;
+    Alcotest.test_case "negation-by-failure" `Quick test_parse_negation;
+    Alcotest.test_case "comments" `Quick test_parse_comments;
+    Alcotest.test_case "malformed input is rejected" `Quick test_parse_errors;
+    Alcotest.test_case "errors carry line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "gold event description round-trips" `Quick test_roundtrip_gold;
+    Alcotest.test_case "rule kinds" `Quick test_ast_kinds;
+    Alcotest.test_case "event description merge" `Quick test_ast_merge;
+  ]

@@ -1,0 +1,166 @@
+open Rtec
+
+let ev time src = { Stream.time; term = Parser.parse_term src }
+
+let test_make_rejects_nonground () =
+  Alcotest.(check bool) "non-ground event rejected" true
+    (try
+       ignore (Stream.make [ ev 1 "entersArea(V, a1)" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let sample =
+  Stream.make
+    [ ev 10 "ping(a)"; ev 20 "ping(b)"; ev 20 "pong(a)"; ev 30 "ping(a)"; ev 40 "pong(b)" ]
+
+let test_extent_and_size () =
+  Alcotest.(check (pair int int)) "extent" (10, 40) (Stream.extent sample);
+  Alcotest.(check int) "size" 5 (Stream.size sample);
+  Alcotest.(check (pair int int)) "empty extent" (0, 0) (Stream.extent (Stream.make []))
+
+let test_events_in_boundaries () =
+  let count ~from ~until =
+    List.length (Stream.events_in sample ~functor_:("ping", 1) ~from ~until)
+  in
+  Alcotest.(check int) "inclusive bounds" 3 (count ~from:10 ~until:30);
+  Alcotest.(check int) "from boundary" 2 (count ~from:20 ~until:30);
+  Alcotest.(check int) "until boundary" 2 (count ~from:10 ~until:20);
+  Alcotest.(check int) "empty range" 0 (count ~from:21 ~until:29);
+  Alcotest.(check int) "unknown functor" 0
+    (List.length (Stream.events_in sample ~functor_:("zap", 1) ~from:0 ~until:100))
+
+let test_events_at () =
+  Alcotest.(check int) "two indicators at t=20" 1
+    (List.length (Stream.events_at sample ~functor_:("ping", 1) ~time:20));
+  Alcotest.(check int) "pong at t=20" 1
+    (List.length (Stream.events_at sample ~functor_:("pong", 1) ~time:20))
+
+let test_indicators_and_append () =
+  Alcotest.(check int) "two indicators" 2 (List.length (Stream.indicators sample));
+  let more = Stream.make [ ev 50 "zap(c)" ] in
+  let combined = Stream.append sample more in
+  Alcotest.(check int) "append grows" 6 (Stream.size combined);
+  Alcotest.(check (pair int int)) "extent extends" (10, 50) (Stream.extent combined)
+
+let test_events_sorted () =
+  let shuffled = Stream.make [ ev 30 "e(a)"; ev 10 "e(b)"; ev 20 "e(c)" ] in
+  let times = List.map (fun (e : Stream.event) -> e.time) (Stream.events shuffled) in
+  Alcotest.(check (list int)) "sorted by time" [ 10; 20; 30 ] times
+
+(* --- knowledge --- *)
+
+let kb =
+  Knowledge.of_source
+    "areaType(a1, fishing). areaType(a2, natura). vesselType(v1, tug). \
+     thresholds(speedMax, 5.0)."
+
+let test_knowledge_solve () =
+  let pattern = Parser.parse_term "areaType(A, fishing)" in
+  let solutions = Knowledge.solve kb Subst.empty pattern in
+  Alcotest.(check int) "one fishing area" 1 (List.length solutions);
+  let all = Knowledge.solve kb Subst.empty (Parser.parse_term "areaType(A, T)") in
+  Alcotest.(check int) "two areas" 2 (List.length all);
+  Alcotest.(check int) "no match" 0
+    (List.length (Knowledge.solve kb Subst.empty (Parser.parse_term "areaType(a9, T)")))
+
+let test_knowledge_solve_respects_subst () =
+  let s = Option.get (Unify.unify (Term.Var "A") (Term.Atom "a2")) in
+  let solutions = Knowledge.solve kb s (Parser.parse_term "areaType(A, T)") in
+  Alcotest.(check int) "bound variable restricts" 1 (List.length solutions);
+  match solutions with
+  | [ s' ] ->
+    Alcotest.(check string) "type of a2" "natura"
+      (Term.to_string (Subst.apply s' (Term.Var "T")))
+  | _ -> Alcotest.fail "expected one solution"
+
+let test_knowledge_threshold () =
+  Alcotest.(check (option (float 1e-9))) "threshold lookup" (Some 5.0)
+    (Knowledge.threshold kb "speedMax");
+  Alcotest.(check (option (float 1e-9))) "missing threshold" None
+    (Knowledge.threshold kb "nope")
+
+let test_knowledge_rejects () =
+  Alcotest.(check bool) "non-ground fact rejected" true
+    (try
+       ignore (Knowledge.add (Parser.parse_term "areaType(A, fishing)") Knowledge.empty);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rule rejected as fact source" true
+    (try
+       ignore (Knowledge.of_source "p(a) :- q(a).");
+       false
+     with Invalid_argument _ -> true)
+
+let test_knowledge_size_facts () =
+  Alcotest.(check int) "size" 4 (Knowledge.size kb);
+  Alcotest.(check int) "facts listed" 4 (List.length (Knowledge.facts kb))
+
+(* --- serialisation --- *)
+
+let test_io_roundtrip () =
+  let stream =
+    Stream.make
+      ~input_fluents:
+        [ ((Parser.parse_term "proximity(a, b)", Term.Atom "true"),
+           Interval.of_list [ (3, 9); (12, 20) ]);
+          ((Parser.parse_term "proximity(b, c)", Term.Atom "true"),
+           [ Interval.make 5 Interval.infinity ]) ]
+      [ ev 10 "ping(a)"; ev 20 "pong(b)" ]
+  in
+  let reread = Io.stream_of_string (Io.stream_to_string stream) in
+  Alcotest.(check int) "event count" (Stream.size stream) (Stream.size reread);
+  Alcotest.(check bool) "events equal" true
+    (List.for_all2
+       (fun (a : Stream.event) (b : Stream.event) ->
+         a.time = b.time && Term.equal a.term b.term)
+       (Stream.events stream) (Stream.events reread));
+  Alcotest.(check int) "fluent count" 2 (List.length (Stream.input_fluents reread));
+  let spans_of s (f, v) =
+    List.find_map
+      (fun ((f', v'), spans) ->
+        if Term.equal f f' && Term.equal v v' then Some spans else None)
+      (Stream.input_fluents s)
+  in
+  let fv = (Parser.parse_term "proximity(b, c)", Term.Atom "true") in
+  Alcotest.(check bool) "open interval survives" true
+    (spans_of stream fv = spans_of reread fv)
+
+let dataset_small =
+  lazy
+    (Maritime.Dataset.generate
+       ~config:{ Maritime.Dataset.seed = 5; replicas = 1; nominal = 0 } ())
+
+let test_io_dataset_roundtrip () =
+  let data = Lazy.force dataset_small in
+  let reread = Io.stream_of_string (Io.stream_to_string data.Maritime.Dataset.stream) in
+  Alcotest.(check int) "dataset stream round-trips"
+    (Stream.size data.stream) (Stream.size reread);
+  let kb = Io.knowledge_of_string (Io.knowledge_to_string data.knowledge) in
+  Alcotest.(check int) "dataset knowledge round-trips"
+    (Knowledge.size data.knowledge) (Knowledge.size kb)
+
+let test_io_rejects_garbage () =
+  Alcotest.(check bool) "unexpected fact rejected" true
+    (try
+       ignore (Io.stream_of_string "frobnicate(a).");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "non-ground events rejected" `Quick test_make_rejects_nonground;
+    Alcotest.test_case "io: stream round-trip" `Quick test_io_roundtrip;
+    Alcotest.test_case "io: dataset round-trip" `Quick test_io_dataset_roundtrip;
+    Alcotest.test_case "io: garbage rejected" `Quick test_io_rejects_garbage;
+    Alcotest.test_case "extent and size" `Quick test_extent_and_size;
+    Alcotest.test_case "events_in boundaries" `Quick test_events_in_boundaries;
+    Alcotest.test_case "events_at" `Quick test_events_at;
+    Alcotest.test_case "indicators and append" `Quick test_indicators_and_append;
+    Alcotest.test_case "events come out sorted" `Quick test_events_sorted;
+    Alcotest.test_case "knowledge: solve" `Quick test_knowledge_solve;
+    Alcotest.test_case "knowledge: solve under substitution" `Quick
+      test_knowledge_solve_respects_subst;
+    Alcotest.test_case "knowledge: thresholds" `Quick test_knowledge_threshold;
+    Alcotest.test_case "knowledge: invalid input rejected" `Quick test_knowledge_rejects;
+    Alcotest.test_case "knowledge: size and facts" `Quick test_knowledge_size_facts;
+  ]

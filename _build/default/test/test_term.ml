@@ -1,0 +1,156 @@
+open Rtec
+
+let v x = Term.Var x
+let a x = Term.Atom x
+let f name args = Term.app name args
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+
+let test_app () =
+  Alcotest.check term_testable "no args gives atom" (a "foo") (f "foo" []);
+  Alcotest.check term_testable "args give compound"
+    (Term.Compound ("foo", [ v "X" ]))
+    (f "foo" [ v "X" ])
+
+let test_functor_arity () =
+  Alcotest.(check (pair string int)) "compound" ("entersArea", 2)
+    (Term.indicator (f "entersArea" [ v "Vl"; a "a1" ]));
+  Alcotest.(check (pair string int)) "atom" ("fishing", 0) (Term.indicator (a "fishing"));
+  Alcotest.(check string) "int functor" "#int" (Term.functor_of (Term.Int 3))
+
+let test_ground_and_vars () =
+  let t = f "happensAt" [ f "entersArea" [ v "Vl"; a "a1" ]; v "T" ] in
+  Alcotest.(check bool) "not ground" false (Term.is_ground t);
+  Alcotest.(check (list string)) "vars in order" [ "Vl"; "T" ] (Term.vars t);
+  Alcotest.(check bool) "ground" true (Term.is_ground (f "areaType" [ a "a1"; a "fishing" ]))
+
+let test_strip_not () =
+  let atom = f "holdsAt" [ Term.eq (a "f") (a "v"); v "T" ] in
+  Alcotest.(check bool) "positive" true (fst (Term.strip_not atom));
+  Alcotest.(check bool) "single negation" false (fst (Term.strip_not (Term.neg atom)));
+  Alcotest.(check bool) "double negation is positive" true
+    (fst (Term.strip_not (Term.neg (Term.neg atom))));
+  Alcotest.check term_testable "inner atom preserved" atom
+    (snd (Term.strip_not (Term.neg atom)))
+
+let test_as_fvp_as_list () =
+  Alcotest.(check bool) "fvp decomposes" true
+    (Term.as_fvp (Term.eq (a "f") (a "v")) = Some (a "f", a "v"));
+  Alcotest.(check bool) "list decomposes" true
+    (Term.as_list (Term.list_ [ v "I1"; v "I2" ]) = Some [ v "I1"; v "I2" ]);
+  Alcotest.(check bool) "non-list" true (Term.as_list (a "x") = None)
+
+let test_pp () =
+  Alcotest.(check string) "infix =" "withinArea(Vl, AreaType) = true"
+    (Term.to_string (Term.eq (f "withinArea" [ v "Vl"; v "AreaType" ]) (a "true")));
+  Alcotest.(check string) "lists" "[I1, I2]" (Term.to_string (Term.list_ [ v "I1"; v "I2" ]));
+  Alcotest.(check string) "nested infix parenthesised" "(Speed - 1.0) > Max"
+    (Term.to_string
+       (Term.Compound (">", [ Term.Compound ("-", [ v "Speed"; Term.Real 1. ]); v "Max" ])));
+  Alcotest.(check string) "negation" "not happensAt(gap_start(Vl), T)"
+    (Term.to_string (Term.neg (f "happensAt" [ f "gap_start" [ v "Vl" ]; v "T" ])))
+
+(* --- substitutions and unification --- *)
+
+let subst_of pairs =
+  List.fold_left (fun s (x, t) -> Subst.bind x t s) Subst.empty pairs
+
+let test_subst_apply () =
+  let s = subst_of [ ("X", a "a1"); ("Y", v "Z"); ("Z", a "b") ] in
+  Alcotest.check term_testable "direct" (a "a1") (Subst.apply s (v "X"));
+  Alcotest.check term_testable "transitive" (a "b") (Subst.apply s (v "Y"));
+  Alcotest.check term_testable "inside compound"
+    (f "p" [ a "a1"; a "b" ])
+    (Subst.apply s (f "p" [ v "X"; v "Y" ]))
+
+let test_unify_basic () =
+  let pat = f "entersArea" [ v "Vl"; v "Area" ] in
+  let gd = f "entersArea" [ a "v42"; a "a1" ] in
+  (match Unify.unify pat gd with
+  | None -> Alcotest.fail "should unify"
+  | Some s ->
+    Alcotest.check term_testable "Vl bound" (a "v42") (Subst.apply s (v "Vl"));
+    Alcotest.check term_testable "Area bound" (a "a1") (Subst.apply s (v "Area")));
+  Alcotest.(check bool) "functor mismatch" false
+    (Unify.matches (f "entersArea" [ v "X" ]) (f "leavesArea" [ a "v1" ]));
+  Alcotest.(check bool) "arity mismatch" false
+    (Unify.matches (f "p" [ v "X" ]) (f "p" [ a "a"; a "b" ]))
+
+let test_unify_occurs_check () =
+  Alcotest.(check bool) "occurs check" false
+    (Unify.matches (v "X") (f "p" [ v "X" ]))
+
+let test_unify_numeric () =
+  Alcotest.(check bool) "int unifies with equal real" true
+    (Unify.matches (Term.Int 3) (Term.Real 3.0));
+  Alcotest.(check bool) "different numbers do not unify" false
+    (Unify.matches (Term.Int 3) (Term.Real 3.5))
+
+let test_unify_shared_variable () =
+  (* p(X, X) must not match p(a, b). *)
+  Alcotest.(check bool) "shared variable consistency" false
+    (Unify.matches (f "p" [ v "X"; v "X" ]) (f "p" [ a "a"; a "b" ]));
+  Alcotest.(check bool) "shared variable same value" true
+    (Unify.matches (f "p" [ v "X"; v "X" ]) (f "p" [ a "a"; a "a" ]))
+
+let test_rename_apart () =
+  Alcotest.check term_testable "variables suffixed"
+    (f "p" [ v "X_r1"; a "c" ])
+    (Unify.rename_apart ~suffix:"r1" (f "p" [ v "X"; a "c" ]))
+
+(* --- properties --- *)
+
+let term_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [ map (fun i -> Term.Int i) (int_bound 50);
+        oneofl [ Term.Atom "a"; Term.Atom "b"; Term.Atom "fishing" ];
+        oneofl [ Term.Var "X"; Term.Var "Y"; Term.Var "Z" ] ]
+  in
+  let rec go depth =
+    if depth = 0 then base
+    else
+      frequency
+        [ (2, base);
+          (1,
+           map2 (fun name args -> Term.app name args)
+             (oneofl [ "p"; "q"; "entersArea" ])
+             (list_size (int_range 1 3) (go (depth - 1)))) ]
+  in
+  go 3
+
+let arbitrary_term = QCheck.make ~print:Term.to_string term_gen
+
+let prop name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let properties =
+  [
+    prop "unifier unifies" 500 (QCheck.pair arbitrary_term arbitrary_term) (fun (x, y) ->
+        match Unify.unify x y with
+        | None -> true
+        | Some s -> Term.equal (Subst.apply s x) (Subst.apply s y));
+    prop "unification is reflexive" 500 arbitrary_term (fun t -> Unify.matches t t);
+    prop "unification is symmetric" 500 (QCheck.pair arbitrary_term arbitrary_term)
+      (fun (x, y) -> Unify.matches x y = Unify.matches y x);
+    prop "compare is a total order with equal" 500
+      (QCheck.pair arbitrary_term arbitrary_term)
+      (fun (x, y) -> Term.equal x y = (Term.compare x y = 0));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "app" `Quick test_app;
+    Alcotest.test_case "functor and arity" `Quick test_functor_arity;
+    Alcotest.test_case "groundness and variables" `Quick test_ground_and_vars;
+    Alcotest.test_case "strip_not" `Quick test_strip_not;
+    Alcotest.test_case "fvp and list views" `Quick test_as_fvp_as_list;
+    Alcotest.test_case "printing" `Quick test_pp;
+    Alcotest.test_case "substitution application" `Quick test_subst_apply;
+    Alcotest.test_case "unification basics" `Quick test_unify_basic;
+    Alcotest.test_case "occurs check" `Quick test_unify_occurs_check;
+    Alcotest.test_case "numeric literals" `Quick test_unify_numeric;
+    Alcotest.test_case "shared variables" `Quick test_unify_shared_variable;
+    Alcotest.test_case "rename apart" `Quick test_rename_apart;
+  ]
+  @ properties
