@@ -130,23 +130,89 @@ let tests =
       ];
   ]
 
-let benchmark () =
+(* A cheap subset under a ~2-second budget: enough to verify the harness
+   (fixtures build, bechamel runs, the table and JSON writers work)
+   without the full sweep. *)
+let smoke_tests =
+  List.filter
+    (fun group ->
+      List.mem (Test.name group) [ "interval"; "assignment" ])
+    tests
+
+let benchmark ~smoke =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
-  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"adg" tests) in
+  let quota = if smoke then 0.25 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 500) () in
+  let suite = if smoke then smoke_tests else tests in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"adg" suite) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows =
+    List.map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, Some est)
+        | Some _ | None -> (name, None))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  in
   Format.printf "==============================================================@.";
   Format.printf "Micro-benchmarks (monotonic clock, ns/run)@.";
   Format.printf "==============================================================@.";
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Format.printf "%-60s %16.1f ns/run@." name est
-      | Some _ | None -> Format.printf "%-60s %16s@." name "n/a")
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.printf "%-60s %16.1f ns/run@." name est
+      | None -> Format.printf "%-60s %16s@." name "n/a")
+    rows;
+  rows
+
+(* Machine-readable trajectory point: a flat JSON object mapping each test
+   name to its ns/run estimate (null when the OLS fit failed). *)
+let write_json file rows =
+  let oc = open_out file in
+  let escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" (escape name)
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "wrote %d benchmark estimates to %s@." (List.length rows) file
 
 let () =
-  print_figures ();
-  benchmark ()
+  let json_file = ref None and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: main.exe [--smoke] [--json FILE]\nunknown argument: %s\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* Fail on an unwritable --json target now, not after the full sweep. *)
+  Option.iter
+    (fun file ->
+      match open_out file with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write --json file: %s\n" msg;
+        exit 2)
+    !json_file;
+  if not !smoke then print_figures ();
+  let rows = benchmark ~smoke:!smoke in
+  Option.iter (fun file -> write_json file rows) !json_file

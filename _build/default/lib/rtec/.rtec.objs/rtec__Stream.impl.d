@@ -1,1 +1,1 @@
-lib/rtec/stream.ml: Array Int Interval List Map Option Printf Term
+lib/rtec/stream.ml: Array Hashtbl Int Interval List Map Option Printf Term

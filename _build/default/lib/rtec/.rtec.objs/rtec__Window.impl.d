@@ -1,1 +1,1 @@
-lib/rtec/window.ml: Engine Interval List Map Option Result Stream Term
+lib/rtec/window.ml: Dependency Engine Interval List Map Option Result Stream Term

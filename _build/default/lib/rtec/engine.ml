@@ -2,28 +2,56 @@ type fvp = Term.t * Term.t
 type result = (fvp * Interval.t) list
 
 module Cache = struct
-  (* Maximal intervals of every ground FVP computed so far, grouped by the
-     indicator of the fluent term: the engine's bottom-up cache. *)
-  type t = (string * int, (fvp * Interval.t) list ref) Hashtbl.t
+  (* Maximal intervals of every ground FVP computed so far: the engine's
+     bottom-up cache. Two-level index — indicator to per-FVP hashtable —
+     so both [lookup] and [entries] avoid scanning association lists. Each
+     indicator also keeps its FVPs in insertion order for deterministic
+     enumeration. [generation] counts mutations, letting memo tables built
+     from an older cache state invalidate themselves. *)
 
-  let create () : t = Hashtbl.create 64
+  module H = Hashtbl.Make (struct
+    type t = fvp
 
-  let entries (t : t) ind =
-    match Hashtbl.find_opt t ind with None -> [] | Some r -> !r
+    let equal (f1, v1) (f2, v2) = Term.equal f1 f2 && Term.equal v1 v2
+    let hash (f, v) = (Term.hash f * 31) + Term.hash v
+  end)
 
-  let add (t : t) ((fluent, _) as fv) spans =
+  type entry = { by_fvp : Interval.t H.t; mutable rev_order : fvp list }
+  type t = { by_indicator : (string * int, entry) Hashtbl.t; mutable generation : int }
+
+  let create () = { by_indicator = Hashtbl.create 64; generation = 0 }
+
+  let entries_of e = List.rev_map (fun fv -> (fv, H.find e.by_fvp fv)) e.rev_order
+
+  let entries t ind =
+    match Hashtbl.find_opt t.by_indicator ind with
+    | None -> []
+    | Some e -> entries_of e
+
+  let add t ((fluent, _) as fv) spans =
     let ind = Term.indicator fluent in
-    match Hashtbl.find_opt t ind with
-    | None -> Hashtbl.replace t ind (ref [ (fv, spans) ])
-    | Some r -> r := (fv, spans) :: !r
+    let e =
+      match Hashtbl.find_opt t.by_indicator ind with
+      | Some e -> e
+      | None ->
+        let e = { by_fvp = H.create 16; rev_order = [] } in
+        Hashtbl.replace t.by_indicator ind e;
+        e
+    in
+    (match H.find_opt e.by_fvp fv with
+     | None ->
+       H.replace e.by_fvp fv spans;
+       e.rev_order <- fv :: e.rev_order
+     | Some old -> H.replace e.by_fvp fv (Interval.union old spans));
+    t.generation <- t.generation + 1
 
-  let lookup (t : t) ((fluent, value) : fvp) =
-    entries t (Term.indicator fluent)
-    |> List.find_opt (fun ((f, v), _) -> Term.equal f fluent && Term.equal v value)
-    |> Option.map snd
+  let lookup t ((fluent, _) as fv) =
+    match Hashtbl.find_opt t.by_indicator (Term.indicator fluent) with
+    | None -> None
+    | Some e -> H.find_opt e.by_fvp fv
 
-  let to_result (t : t) =
-    Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t []
+  let to_result t =
+    Hashtbl.fold (fun _ e acc -> List.rev_append (entries_of e) acc) t.by_indicator []
 end
 
 type env = {
@@ -32,6 +60,12 @@ type env = {
   cache : Cache.t;
   from : int;
   until : int;
+  universe : (string * int, fvp list ref) Hashtbl.t;
+      (* extra SD grounding candidates (FVPs recognised in earlier windows),
+         indexed by fluent indicator *)
+  holds_memo : (int * (string * int), int * fvp list) Hashtbl.t;
+      (* (time, indicator) -> (cache generation, FVPs holding at that time):
+         memoised groundings for repeated holdsAt probes at one time-point *)
 }
 
 (* --- arithmetic and comparisons --- *)
@@ -95,6 +129,23 @@ let happens_solutions env subst event time =
         | Some s -> Unify.unify ~subst:s time (Term.Int e.time))
       candidates
 
+(* FVPs of the given indicator holding at time-point [t], memoised per
+   (time, indicator) on the current cache generation: rule bodies probe the
+   same time-point repeatedly (one probe per candidate event grounding), so
+   the interval-membership scan is shared between them. *)
+let holding_at env ind t =
+  let key = (t, ind) in
+  let generation = env.cache.Cache.generation in
+  match Hashtbl.find_opt env.holds_memo key with
+  | Some (g, fvps) when g = generation -> fvps
+  | _ ->
+    let fvps =
+      Cache.entries env.cache ind
+      |> List.filter_map (fun (fv, spans) -> if Interval.mem t spans then Some fv else None)
+    in
+    Hashtbl.replace env.holds_memo key (generation, fvps);
+    fvps
+
 let holds_at_solutions env subst fv time =
   match Subst.apply subst time with
   | Term.Int t -> (
@@ -102,14 +153,17 @@ let holds_at_solutions env subst fv time =
     | None -> []
     | Some (fluent, value) ->
       if Term.is_var fluent then []
+      else if Term.is_ground fluent && Term.is_ground value then
+        (* Ground probe: a direct two-level cache lookup. *)
+        match Cache.lookup env.cache (fluent, value) with
+        | Some spans when Interval.mem t spans -> [ subst ]
+        | _ -> []
       else
-        Cache.entries env.cache (Term.indicator fluent)
-        |> List.filter_map (fun ((f, v), spans) ->
-               if Interval.mem t spans then
-                 match Unify.unify ~subst fluent f with
-                 | None -> None
-                 | Some s -> Unify.unify ~subst:s value v
-               else None))
+        holding_at env (Term.indicator fluent) t
+        |> List.filter_map (fun (f, v) ->
+               match Unify.unify ~subst fluent f with
+               | None -> None
+               | Some s -> Unify.unify ~subst:s value v))
   | _ -> []
 
 let rec literal_solutions env subst literal =
@@ -156,6 +210,9 @@ module Imap = Map.Make (String)
    with no cached intervals binds the empty list, so that e.g. a union over
    the values of a multi-valued fluent still succeeds when some value never
    held (RTEC's semantics). *)
+let universe_fvps env ind =
+  match Hashtbl.find_opt env.universe ind with None -> [] | Some r -> !r
+
 let holds_for_solutions env subst (fluent, value) =
   let fluent = Subst.apply subst fluent and value = Subst.apply subst value in
   let with_value subst fluent =
@@ -165,19 +222,37 @@ let holds_for_solutions env subst (fluent, value) =
       in
       [ (subst, spans) ]
     else
-      Cache.entries env.cache (Term.indicator fluent)
-      |> List.filter_map (fun ((f, v), spans) ->
-             if Term.equal f fluent then
-               Unify.unify ~subst value v |> Option.map (fun s -> (s, spans))
-             else None)
+      let cached =
+        Cache.entries env.cache (Term.indicator fluent)
+        |> List.filter_map (fun ((f, v), spans) ->
+               if Term.equal f fluent then
+                 Unify.unify ~subst value v |> Option.map (fun s -> (s, spans))
+               else None)
+      in
+      (* Value groundings recognised in earlier windows but absent from this
+         window's cache bind the empty interval list, like any ground FVP
+         with no cached intervals. *)
+      let carried =
+        universe_fvps env (Term.indicator fluent)
+        |> List.filter_map (fun (f, v) ->
+               if Term.equal f fluent && Cache.lookup env.cache (f, v) = None then
+                 Unify.unify ~subst value v |> Option.map (fun s -> (s, Interval.empty))
+               else None)
+      in
+      cached @ carried
   in
   if Term.is_var fluent then []
   else if Term.is_ground fluent then with_value subst fluent
   else
     (* Enumerate the known groundings of the fluent schema, whatever their
-       value, then resolve the requested value against each grounding. *)
+       value, then resolve the requested value against each grounding. The
+       universe contributes groundings recognised in earlier windows, so
+       sliding-window evaluation enumerates the same entities as a
+       single-pass run even when the enabling fluent is quiet in the
+       current window. *)
     Cache.entries env.cache (Term.indicator fluent)
     |> List.map (fun ((f, _), _) -> f)
+    |> List.rev_append (List.map fst (universe_fvps env (Term.indicator fluent)))
     |> List.sort_uniq Term.compare
     |> List.concat_map (fun f ->
            match Unify.unify ~subst fluent f with
@@ -396,12 +471,17 @@ let initial_fvps event_description =
       | _ -> None)
     (Ast.all_rules event_description)
 
-let run ?(carry = []) ~event_description ~knowledge ~stream ~from ~until () =
+let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge ~stream
+    ~from ~until () =
   let deps = Dependency.analyse event_description in
   match Dependency.evaluation_order deps with
   | Error e -> Result.Error e
   | Ok order ->
     let lo, _ = Stream.extent stream in
+    (* When evaluating only the step delta of a larger window, [input_from]
+       is the true window start: input fluents are clamped against it, not
+       against the delta start. *)
+    let input_from = Option.value ~default:from input_from in
     let carry =
       (* [initially] declarations only apply when the window reaches back
          to the start of the stream; afterwards the carry list carries
@@ -413,10 +493,21 @@ let run ?(carry = []) ~event_description ~knowledge ~stream ~from ~until () =
        restricted to the window. *)
     List.iter
       (fun (fv, spans) ->
-        let spans = Interval.clamp (from + 1) Interval.infinity spans in
+        let spans = Interval.clamp (input_from + 1) Interval.infinity spans in
         if not (Interval.is_empty spans) then Cache.add cache fv spans)
       (Stream.input_fluents stream);
-    let env = { stream; knowledge; cache; from; until } in
+    let universe_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun ((f, _) as fv) ->
+        let ind = Term.indicator f in
+        match Hashtbl.find_opt universe_tbl ind with
+        | None -> Hashtbl.replace universe_tbl ind (ref [ fv ])
+        | Some r -> r := fv :: !r)
+      universe;
+    let env =
+      { stream; knowledge; cache; from; until;
+        universe = universe_tbl; holds_memo = Hashtbl.create 256 }
+    in
     let rec evaluate = function
       | [] -> Ok ()
       | ind :: rest -> (

@@ -16,6 +16,8 @@ type result = (fvp * Interval.t) list
 
 val run :
   ?carry:fvp list ->
+  ?universe:fvp list ->
+  ?input_from:int ->
   event_description:Ast.t ->
   knowledge:Knowledge.t ->
   stream:Stream.t ->
@@ -26,10 +28,17 @@ val run :
 (** Evaluates the event description over the events with
     [from <= time <= until]. [carry] lists the FVPs that held at the window
     start according to the previous query (RTEC's interval amalgamation);
-    they are treated as initiated just before [from]. When the window
-    reaches the start of the stream, ground [initially(F=V)] facts of the
-    event description are added to the carry. Fails when the description
-    is not stratified or a fluent mixes rule kinds. *)
+    they are treated as initiated just before [from]. [universe] lists FVPs
+    recognised in earlier windows: they act as extra grounding candidates
+    when a [holdsFor] body literal enumerates the instances of a fluent
+    schema, so windowed evaluation binds the same variables as a single
+    pass even when the enabling fluent is quiet in the current window.
+    [input_from] (default [from]) is the window start used to clamp input
+    statically determined fluents — pass the true window start when [from]
+    is only the step delta of a larger window. When the window reaches the
+    start of the stream, ground [initially(F=V)] facts of the event
+    description are added to the carry. Fails when the description is not
+    stratified or a fluent mixes rule kinds. *)
 
 val holds_at : result -> fvp -> int -> bool
 val intervals : result -> fvp -> Interval.t

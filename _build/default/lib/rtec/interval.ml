@@ -32,14 +32,32 @@ let duration i =
     0 i
 
 let clamp lo hi i =
+  (* Clamping a normalised list keeps it normalised (spans only shrink, so
+     they stay sorted, disjoint and non-adjacent): no re-sort needed. *)
   List.filter_map
     (fun { start; stop } ->
       let s = max lo start and e = min hi stop in
-      if e > s then Some (s, e) else None)
+      if e > s then Some { start = s; stop = e } else None)
     i
-  |> of_list
 
-let union a b = of_list (to_list a @ to_list b)
+let union a b =
+  (* Linear merge of two normalised lists: pick the span with the smaller
+     start, amalgamating overlapping or adjacent spans as we go. *)
+  let rec go acc cur a b =
+    let take x a b =
+      match cur with
+      | None -> go acc (Some x) a b
+      | Some c ->
+        if x.start <= c.stop then go acc (Some { c with stop = max c.stop x.stop }) a b
+        else go (c :: acc) (Some x) a b
+    in
+    match (a, b) with
+    | [], [] -> ( match cur with None -> List.rev acc | Some c -> List.rev (c :: acc))
+    | x :: a', [] -> take x a' []
+    | [], y :: b' -> take y [] b'
+    | x :: a', y :: b' -> if x.start <= y.start then take x a' b else take y a b'
+  in
+  go [] None a b
 
 let inter a b =
   (* Linear sweep over the two normalised lists. *)
@@ -54,18 +72,28 @@ let inter a b =
   go [] a b
 
 let diff a b =
-  (* Subtract each span of [b] from the spans of [a]. *)
-  let subtract_span spans y =
-    List.concat_map
-      (fun x ->
-        if y.stop <= x.start || x.stop <= y.start then [ x ]
+  (* Linear sweep: walk [a] keeping a candidate remainder [x]; advance the
+     cursor into [b], trimming or splitting [x] against each overlapping
+     subtrahend. Both lists are normalised, so each is traversed once.
+     Splitting leaves a gap of at least one point, and pieces of distinct
+     [a]-spans inherit their separation: the output is normalised. *)
+  let rec go acc a b =
+    match a with
+    | [] -> List.rev acc
+    | x :: a' -> (
+      match b with
+      | [] -> go (x :: acc) a' []
+      | y :: b' ->
+        if y.stop <= x.start then go acc a b'
+        else if x.stop <= y.start then go (x :: acc) a' b
         else
-          let left = if y.start > x.start then [ { start = x.start; stop = y.start } ] else [] in
-          let right = if y.stop < x.stop then [ { start = y.stop; stop = x.stop } ] else [] in
-          left @ right)
-      spans
+          let acc =
+            if y.start > x.start then { start = x.start; stop = y.start } :: acc else acc
+          in
+          if y.stop < x.stop then go acc ({ start = y.stop; stop = x.stop } :: a') b'
+          else go acc a' b)
   in
-  List.fold_left subtract_span a b
+  go [] a b
 
 let union_all lists = of_list (List.concat_map to_list lists)
 
@@ -90,19 +118,26 @@ let from_points ~starts ~stops =
      the interval at Te + 1: the fluent still holds at Te. A re-initiation
      exactly at Te starts a new period, which amalgamates with the closing
      one. *)
+  (* Both lists are sorted, so the pairing is a linear two-pointer walk:
+     each cursor only moves forward. A new period can start exactly at the
+     previous termination point, in which case the two spans are adjacent
+     and amalgamate in [push]. *)
+  let push acc s e =
+    match acc with
+    | { start; stop } :: rest when s <= stop -> { start; stop = e } :: rest
+    | _ -> { start = s; stop = e } :: acc
+  in
+  let rec drop_le t = function x :: rest when x <= t -> drop_le t rest | l -> l in
+  let rec drop_lt t = function x :: rest when x < t -> drop_lt t rest | l -> l in
   let rec go acc starts stops =
     match starts with
     | [] -> List.rev acc
     | ts :: starts' -> (
-      match List.find_opt (fun te -> te > ts) stops with
-      | None -> List.rev ({ start = ts + 1; stop = infinity } :: acc)
-      | Some te ->
-        let acc = { start = ts + 1; stop = te + 1 } :: acc in
-        let starts' = List.filter (fun t -> t >= te) starts' in
-        let stops' = List.filter (fun t -> t > te) stops in
-        go acc starts' stops')
+      match drop_le ts stops with
+      | [] -> List.rev (push acc (ts + 1) infinity)
+      | te :: _ as stops -> go (push acc (ts + 1) (te + 1)) (drop_lt te starts') stops)
   in
-  of_list (to_list (go [] starts stops))
+  go [] starts stops
 
 let pp ppf i =
   let pp_span ppf { start; stop } =

@@ -8,9 +8,56 @@ end)
 
 type t = {
   by_indicator : event array M.t;  (* each array sorted by time *)
-  all : event list;
+  all : event list;  (* sorted by time *)
+  times : int array;  (* sorted times of [all], for binary-searched counts *)
+  size : int;
+  extent : int * int;
   input_fluents : ((Term.t * Term.t) * Interval.t) list;
 }
+
+(* Duplicate (fluent, value) keys are unioned rather than concatenated, so
+   downstream consumers see one entry per FVP; first-occurrence order is
+   preserved. *)
+let dedup_input_fluents input_fluents =
+  match input_fluents with
+  | [] | [ _ ] -> input_fluents
+  | _ ->
+    let order = ref [] and tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (((f, v) as fv), spans) ->
+        let key = (Term.to_string f, Term.to_string v) in
+        match Hashtbl.find_opt tbl key with
+        | None ->
+          order := fv :: !order;
+          Hashtbl.replace tbl key (fv, spans)
+        | Some (fv0, spans0) -> Hashtbl.replace tbl key (fv0, Interval.union spans0 spans))
+      input_fluents;
+    List.rev_map
+      (fun (f, v) -> Hashtbl.find tbl (Term.to_string f, Term.to_string v))
+      !order
+
+(* Builds a stream from an already time-sorted event list. *)
+let of_sorted ~input_fluents sorted =
+  let grouped =
+    List.fold_left
+      (fun acc e ->
+        let key = Term.indicator e.term in
+        let existing = Option.value ~default:[] (M.find_opt key acc) in
+        M.add key (e :: existing) acc)
+      M.empty sorted
+  in
+  let by_indicator = M.map (fun es -> Array.of_list (List.rev es)) grouped in
+  let times = Array.of_list (List.map (fun e -> e.time) sorted) in
+  let size = Array.length times in
+  let extent = if size = 0 then (0, 0) else (times.(0), times.(size - 1)) in
+  {
+    by_indicator;
+    all = sorted;
+    times;
+    size;
+    extent;
+    input_fluents = dedup_input_fluents input_fluents;
+  }
 
 let make ?(input_fluents = []) events =
   List.iter
@@ -24,27 +71,11 @@ let make ?(input_fluents = []) events =
       if not (Term.is_ground f && Term.is_ground v) then
         invalid_arg "Stream.make: input fluent is not ground")
     input_fluents;
-  let sorted = List.stable_sort (fun a b -> Int.compare a.time b.time) events in
-  let grouped =
-    List.fold_left
-      (fun acc e ->
-        let key = Term.indicator e.term in
-        let existing = Option.value ~default:[] (M.find_opt key acc) in
-        M.add key (e :: existing) acc)
-      M.empty sorted
-  in
-  let by_indicator = M.map (fun es -> Array.of_list (List.rev es)) grouped in
-  { by_indicator; all = sorted; input_fluents }
+  of_sorted ~input_fluents (List.stable_sort (fun a b -> Int.compare a.time b.time) events)
 
 let events s = s.all
-let size s = List.length s.all
-
-let extent s =
-  match s.all with
-  | [] -> (0, 0)
-  | first :: _ ->
-    let rec last = function [ e ] -> e | _ :: rest -> last rest | [] -> first in
-    (first.time, (last s.all).time)
+let size s = s.size
+let extent s = s.extent
 
 (* First index with time >= t, via binary search. *)
 let lower_bound arr t =
@@ -54,6 +85,19 @@ let lower_bound arr t =
     if arr.(mid).time < t then lo := mid + 1 else hi := mid
   done;
   !lo
+
+(* Same, over a plain time array. *)
+let lower_bound_time arr t =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < t then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_in s ~from ~until =
+  if until < from then 0
+  else lower_bound_time s.times (until + 1) - lower_bound_time s.times from
 
 let events_in s ~functor_ ~from ~until =
   match M.find_opt functor_ s.by_indicator with
@@ -71,6 +115,9 @@ let input_fluents s = s.input_fluents
 let indicators s = List.map fst (M.bindings s.by_indicator)
 
 let append a b =
-  make
+  (* Both event lists are already sorted: a single merge suffices.
+     [List.merge] keeps elements of [a] before equal-time elements of [b],
+     matching the stable sort in [make]. *)
+  of_sorted
     ~input_fluents:(a.input_fluents @ b.input_fluents)
-    (a.all @ b.all)
+    (List.merge (fun (x : event) y -> Int.compare x.time y.time) a.all b.all)

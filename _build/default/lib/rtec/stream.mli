@@ -14,14 +14,20 @@ type t
 val make : ?input_fluents:((Term.t * Term.t) * Interval.t) list -> event list -> t
 (** Builds a stream; events need not be sorted. Raises [Invalid_argument]
     on non-ground events. Each input fluent is a ground [(fluent, value)]
-    pair with its maximal intervals. *)
+    pair with its maximal intervals; duplicate [(fluent, value)] keys are
+    merged by unioning their interval lists. *)
 
 val events : t -> event list
 (** All events in time order. *)
 
 val size : t -> int
+(** Number of events; O(1). *)
+
 val extent : t -> int * int
-(** [(min, max)] event time, [(0, 0)] for an empty stream. *)
+(** [(min, max)] event time, [(0, 0)] for an empty stream; O(1). *)
+
+val count_in : t -> from:int -> until:int -> int
+(** Number of events with [from <= time <= until], by binary search. *)
 
 val events_in : t -> functor_:string * int -> from:int -> until:int -> event list
 (** Events with the given indicator and [from <= time <= until]. *)
@@ -32,4 +38,5 @@ val indicators : t -> (string * int) list
 (** Event indicators present in the stream. *)
 
 val append : t -> t -> t
-(** Concatenates two streams (re-sorting as needed). *)
+(** Concatenates two streams by merging their already-sorted event lists;
+    duplicate input-fluent keys are unioned. *)

@@ -10,11 +10,18 @@ end)
 
 let query_times ~lo ~hi ~window ~step =
   (* The first query fires once a full window has elapsed (so its window
-     reaches back to the start of the stream); queries then repeat every
-     [step] time-points, with a final query exactly at the end of the
-     stream. *)
+     reaches back to the start of the stream) — capped at [hi], so a stream
+     shorter than one window still yields exactly one query. Queries then
+     repeat every [step] time-points, with a final query exactly at the end
+     of the stream; a step landing exactly on [hi] is not queried twice. *)
+  let first = min (lo + window - 1) hi in
   let rec gen q acc = if q >= hi then List.rev (hi :: acc) else gen (q + step) (q :: acc) in
-  gen (lo + window - 1) []
+  let rec dedupe = function
+    | a :: (b :: _ as rest) when a = b -> dedupe rest
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe (gen first [])
 
 let run ?window ?step ~event_description ~knowledge ~stream () =
   let lo, hi = Stream.extent stream in
@@ -23,8 +30,15 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
   let step = Option.value ~default:window step in
   if window <= 0 || step <= 0 then Result.Error "window and step must be positive"
   else begin
+    (* When consecutive windows overlap and every construct in the event
+       description is pointwise, the overlap region would be re-derived
+       identically: evaluate only the step delta, carrying the previous
+       query's fluents forward. Duration-sensitive constructs force a full
+       re-evaluation of each window. *)
+    let delta_ok = step <= window && Dependency.window_insensitive event_description in
     let accumulated = ref FvpMap.empty in
     let queries = ref 0 and events_processed = ref 0 in
+    let prev_q = ref None in
     let record (fv, spans) =
       if not (Interval.is_empty spans) then
         accumulated :=
@@ -32,28 +46,35 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
             (fun o -> Some (Interval.union spans (Option.value ~default:Interval.empty o)))
             !accumulated
     in
-    let all_events = Stream.events stream in
     let process q =
-      let from = max lo (q - window + 1) in
-      (* FVPs holding at the window start according to what has been
-         recognised so far are carried over by inertia. *)
-      let carry =
-        FvpMap.fold
-          (fun fv spans acc -> if Interval.mem from spans then fv :: acc else acc)
-          !accumulated []
+      let window_start = max lo (q - window + 1) in
+      let eval_from =
+        match !prev_q with
+        | Some pq when delta_ok && pq + 1 >= window_start -> pq + 1
+        | _ -> window_start
       in
-      match Engine.run ~carry ~event_description ~knowledge ~stream ~from ~until:q () with
+      (* FVPs holding at the evaluation start according to what has been
+         recognised so far are carried over by inertia; every FVP ever
+         recognised remains a grounding candidate for holdsFor schemas. *)
+      let carry, universe =
+        FvpMap.fold
+          (fun fv spans (carry, universe) ->
+            ((if Interval.mem eval_from spans then fv :: carry else carry), fv :: universe))
+          !accumulated ([], [])
+      in
+      match
+        Engine.run ~carry ~universe ~input_from:window_start ~event_description ~knowledge
+          ~stream ~from:eval_from ~until:q ()
+      with
       | Result.Error e -> Some e
       | Ok result ->
         (* Truncate open intervals just past the query horizon so that the
            next (overlapping) window extends them seamlessly. *)
         let horizon = q + 2 in
-        List.iter (fun (fv, spans) -> record (fv, Interval.clamp from horizon spans)) result;
+        List.iter (fun (fv, spans) -> record (fv, Interval.clamp eval_from horizon spans)) result;
         incr queries;
-        events_processed :=
-          !events_processed
-          + List.length
-              (List.filter (fun (e : Stream.event) -> e.time >= from && e.time <= q) all_events);
+        events_processed := !events_processed + Stream.count_in stream ~from:eval_from ~until:q;
+        prev_q := Some q;
         None
     in
     let rec loop = function

@@ -8,8 +8,18 @@
 
 type stats = {
   queries : int;  (** number of query times processed *)
-  events_processed : int;  (** window sizes summed over queries *)
+  events_processed : int;
+      (** input events inside the evaluated region of each query, summed.
+          With incremental (delta) evaluation each event is examined once;
+          duration-sensitive event descriptions fall back to full-window
+          re-evaluation, where overlapping regions count repeatedly. *)
 }
+
+val query_times : lo:int -> hi:int -> window:int -> step:int -> int list
+(** The query time-points for a stream extent [(lo, hi)]: the first once a
+    full window has elapsed (capped at [hi] for streams shorter than one
+    window), then every [step], with a final query exactly at [hi] and no
+    duplicates. *)
 
 val run :
   ?window:int ->

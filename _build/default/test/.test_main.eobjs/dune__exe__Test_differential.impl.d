@@ -1,1 +1,1 @@
-test/test_differential.ml: Adg Char Engine Hashtbl Int Interval Knowledge Lazy List Maritime Parser Printf QCheck QCheck_alcotest Rtec Stream String Term Window
+test/test_differential.ml: Adg Alcotest Char Engine Hashtbl Int Interval Knowledge Lazy List Maritime Parser Printf QCheck QCheck_alcotest Rtec Stream String Term Window

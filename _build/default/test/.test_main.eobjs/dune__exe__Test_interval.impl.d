@@ -1,1 +1,1 @@
-test/test_interval.ml: Alcotest Interval QCheck QCheck_alcotest Rtec
+test/test_interval.ml: Alcotest Int Interval List QCheck QCheck_alcotest Rtec

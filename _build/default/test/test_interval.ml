@@ -95,6 +95,52 @@ let test_from_points_same_point () =
   check_spans "re-initiation closed by a later termination" [ (2, 6) ]
     (Interval.from_points ~starts:[ 1; 3 ] ~stops:[ 3; 5 ])
 
+(* --- reference implementations ---
+
+   The pre-optimisation O(n log n) / quadratic versions of [union], [diff],
+   [clamp] and [from_points], kept verbatim as oracles: the linear-merge
+   rewrites must agree with them on arbitrary inputs. *)
+
+let ref_union a b = Interval.of_list (Interval.to_list a @ Interval.to_list b)
+
+let ref_diff a b =
+  let subtract_span spans (ys, ye) =
+    List.concat_map
+      (fun (xs, xe) ->
+        if ye <= xs || xe <= ys then [ (xs, xe) ]
+        else
+          let left = if ys > xs then [ (xs, ys) ] else [] in
+          let right = if ye < xe then [ (ye, xe) ] else [] in
+          left @ right)
+      spans
+  in
+  Interval.of_list (List.fold_left subtract_span (Interval.to_list a) (Interval.to_list b))
+
+let ref_clamp lo hi i =
+  Interval.of_list
+    (List.filter_map
+       (fun (s, e) ->
+         let s = max lo s and e = min hi e in
+         if e > s then Some (s, e) else None)
+       (Interval.to_list i))
+
+let ref_from_points ~starts ~stops =
+  let starts = List.sort_uniq Int.compare starts in
+  let stops = List.sort_uniq Int.compare stops in
+  let rec go acc starts stops =
+    match starts with
+    | [] -> List.rev acc
+    | ts :: starts' -> (
+      match List.find_opt (fun te -> te > ts) stops with
+      | None -> List.rev ((ts + 1, Interval.infinity) :: acc)
+      | Some te ->
+        let acc = (ts + 1, te + 1) :: acc in
+        let starts' = List.filter (fun t -> t >= te) starts' in
+        let stops' = List.filter (fun t -> t > te) stops in
+        go acc starts' stops')
+  in
+  Interval.of_list (go [] starts stops)
+
 (* --- qcheck properties --- *)
 
 let spans_gen =
@@ -157,6 +203,31 @@ let properties =
       (fun (base, l1, l2) ->
         let rc = Interval.relative_complement_all base [ l1; l2 ] in
         Interval.equal rc (Interval.inter rc base));
+    prop "union agrees with the reference implementation" 500
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> Interval.equal (Interval.union a b) (ref_union a b));
+    prop "diff agrees with the reference implementation" 500
+      (QCheck.pair arbitrary_spans arbitrary_spans)
+      (fun (a, b) -> Interval.equal (Interval.diff a b) (ref_diff a b));
+    prop "clamp agrees with the reference implementation" 500
+      (QCheck.triple (QCheck.pair QCheck.small_nat QCheck.small_nat) arbitrary_spans
+         arbitrary_spans)
+      (fun ((lo, hi), a, _) -> Interval.equal (Interval.clamp lo hi a) (ref_clamp lo hi a));
+    prop "union with an open interval agrees with the reference" 300 arbitrary_spans
+      (fun a ->
+        let open_tail = [ Interval.make 50 Interval.infinity ] in
+        Interval.equal (Interval.union a open_tail) (ref_union a open_tail));
+    prop "from_points agrees with the reference implementation" 500
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60))
+         (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60)))
+      (fun (starts, stops) ->
+        Interval.equal (Interval.from_points ~starts ~stops) (ref_from_points ~starts ~stops));
+    prop "from_points is well-formed" 300
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60))
+         (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60)))
+      (fun (starts, stops) -> well_formed (Interval.from_points ~starts ~stops));
   ]
 
 let suite =

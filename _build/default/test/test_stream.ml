@@ -42,6 +42,41 @@ let test_indicators_and_append () =
   Alcotest.(check int) "append grows" 6 (Stream.size combined);
   Alcotest.(check (pair int int)) "extent extends" (10, 50) (Stream.extent combined)
 
+let test_count_in () =
+  Alcotest.(check int) "all events" 5 (Stream.count_in sample ~from:0 ~until:100);
+  Alcotest.(check int) "inclusive bounds" 3 (Stream.count_in sample ~from:20 ~until:30);
+  Alcotest.(check int) "empty range" 0 (Stream.count_in sample ~from:21 ~until:29);
+  Alcotest.(check int) "inverted range" 0 (Stream.count_in sample ~from:30 ~until:20);
+  Alcotest.(check int) "agrees with a filter over events"
+    (List.length
+       (List.filter
+          (fun (e : Stream.event) -> e.time >= 15 && e.time <= 35)
+          (Stream.events sample)))
+    (Stream.count_in sample ~from:15 ~until:35)
+
+let test_input_fluent_dedup () =
+  let fv = (Parser.parse_term "proximity(a, b)", Term.Atom "true") in
+  (* make: duplicate keys union their interval lists *)
+  let s =
+    Stream.make
+      ~input_fluents:
+        [ (fv, Interval.of_list [ (1, 5) ]); (fv, Interval.of_list [ (4, 9) ]) ]
+      [ ev 1 "ping(a)" ]
+  in
+  (match Stream.input_fluents s with
+  | [ (_, spans) ] ->
+    Alcotest.(check (list (pair int int))) "make unions duplicates" [ (1, 9) ]
+      (Interval.to_list spans)
+  | l -> Alcotest.failf "expected one input fluent, got %d" (List.length l));
+  (* append: keys common to both streams are merged, not concatenated *)
+  let a = Stream.make ~input_fluents:[ (fv, Interval.of_list [ (1, 3) ]) ] [ ev 1 "ping(a)" ] in
+  let b = Stream.make ~input_fluents:[ (fv, Interval.of_list [ (7, 9) ]) ] [ ev 2 "pong(b)" ] in
+  match Stream.input_fluents (Stream.append a b) with
+  | [ (_, spans) ] ->
+    Alcotest.(check (list (pair int int))) "append unions duplicates" [ (1, 3); (7, 9) ]
+      (Interval.to_list spans)
+  | l -> Alcotest.failf "expected one input fluent, got %d" (List.length l)
+
 let test_events_sorted () =
   let shuffled = Stream.make [ ev 30 "e(a)"; ev 10 "e(b)"; ev 20 "e(c)" ] in
   let times = List.map (fun (e : Stream.event) -> e.time) (Stream.events shuffled) in
@@ -154,6 +189,8 @@ let suite =
     Alcotest.test_case "io: garbage rejected" `Quick test_io_rejects_garbage;
     Alcotest.test_case "extent and size" `Quick test_extent_and_size;
     Alcotest.test_case "events_in boundaries" `Quick test_events_in_boundaries;
+    Alcotest.test_case "count_in binary search" `Quick test_count_in;
+    Alcotest.test_case "input fluents deduplicated" `Quick test_input_fluent_dedup;
     Alcotest.test_case "events_at" `Quick test_events_at;
     Alcotest.test_case "indicators and append" `Quick test_indicators_and_append;
     Alcotest.test_case "events come out sorted" `Quick test_events_sorted;

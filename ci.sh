@@ -1,0 +1,10 @@
+#!/bin/sh
+# Minimal CI: build, tier-1 tests, and a 2-second benchmark-harness smoke
+# run (see bench/dune). The full benchmark sweep (`dune exec bench/main.exe
+# -- --json BENCH_adg.json`) is run manually when refreshing the
+# performance trajectory.
+set -eu
+
+dune build
+dune runtest
+dune build @bench-smoke

@@ -110,3 +110,19 @@ let evaluation_order t =
 
 let external_indicators t =
   List.filter (fun ind -> not (M.mem ind t.infos)) t.referenced
+
+let window_insensitive (ed : Ast.t) =
+  (* Whether recognition commutes with splitting a window into deltas.
+     Simple-fluent rules are pointwise (transitions depend only on events
+     and fluent values at their own time-point), and so are the union /
+     intersection / complement interval constructs. [intDurGreater] is not:
+     it measures durations, which window boundaries truncate — an event
+     description using it must be re-evaluated over the full window. *)
+  Ast.all_rules ed
+  |> List.for_all (fun (r : Ast.rule) ->
+         List.for_all
+           (fun literal ->
+             match literal with
+             | Term.Compound ("intDurGreater", _) -> false
+             | _ -> true)
+           r.body)

@@ -29,6 +29,12 @@ val evaluation_order : t -> ((string * int) list, string) result
 (** Topological order of the defined fluents; [Error cycle] describes a
     dependency cycle. *)
 
+val window_insensitive : Ast.t -> bool
+(** Whether the event description only uses pointwise constructs, so that
+    evaluating a window in step-sized deltas (with carried fluents) yields
+    the same intervals as re-evaluating each full window: true unless some
+    rule uses the duration-sensitive [intDurGreater] construct. *)
+
 val external_indicators : t -> (string * int) list
 (** Indicators referenced in bodies ([happensAt] events, [holdsAt]/
     [holdsFor] fluents) but not defined by the event description: input

@@ -152,6 +152,58 @@ let prop_windowing =
           (List.init (hi + 1) (fun i -> i))
       | _ -> false)
 
+(* --- oracle 4: incremental windowed recognition over the maritime gold
+   standard is bit-identical to a from-scratch single-pass evaluation ---
+
+   This is the differential gate for the incremental window layer: the
+   delta evaluation (step < window), the plain sliding case (step =
+   window), and the carried grounding universe must reproduce exactly the
+   FVPs and maximal intervals of one [Engine.run] over the whole extent,
+   modulo the final horizon truncation. *)
+
+let maritime_dataset =
+  lazy
+    (Maritime.Dataset.generate
+       ~config:{ Maritime.Dataset.seed = 99; replicas = 1; nominal = 1 } ())
+
+let normalised lo hi result =
+  List.sort compare
+    (List.filter_map
+       (fun ((f, v), spans) ->
+         let spans = Interval.clamp lo (hi + 2) spans in
+         if Interval.is_empty spans then None
+         else Some ((Term.to_string f, Term.to_string v), Interval.to_list spans))
+       result)
+
+let test_maritime_incremental_equals_single () =
+  let data = Lazy.force maritime_dataset in
+  let ed = Maritime.Gold.event_description in
+  let stream = data.Maritime.Dataset.stream in
+  let lo, hi = Stream.extent stream in
+  let single =
+    match
+      Engine.run ~event_description:ed ~knowledge:data.knowledge ~stream ~from:lo ~until:hi ()
+    with
+    | Ok r -> normalised lo hi r
+    | Error e -> Alcotest.failf "single-pass run failed: %s" e
+  in
+  Alcotest.(check bool) "single-pass recognises activities" true (single <> []);
+  List.iter
+    (fun (window, step) ->
+      match
+        Window.run ~window ~step ~event_description:ed ~knowledge:data.knowledge ~stream ()
+      with
+      | Error e -> Alcotest.failf "windowed run (%d/%d) failed: %s" window step e
+      | Ok (result, stats) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "window=%d step=%d ran several queries" window step)
+          true
+          (stats.Window.queries > 1);
+        Alcotest.(check (list (pair (pair string string) (list (pair int int)))))
+          (Printf.sprintf "window=%d step=%d is bit-identical to single-pass" window step)
+          single (normalised lo hi result))
+    [ (3600, 1800); (7200, 3600); (7200, 7200) ]
+
 (* --- robustness: the engine survives arbitrary mutated event descriptions --- *)
 
 let tiny_dataset =
@@ -217,4 +269,7 @@ let prop_parser_total =
       match Parser.parse_clauses_result input with Ok _ | Error _ -> true)
 
 let suite =
-  [ prop_inertia; prop_setters; prop_windowing; prop_engine_robust; prop_parser_total ]
+  [ prop_inertia; prop_setters; prop_windowing;
+    Alcotest.test_case "incremental windowed recognition equals single-pass (maritime)"
+      `Quick test_maritime_incremental_equals_single;
+    prop_engine_robust; prop_parser_total ]

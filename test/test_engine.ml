@@ -290,6 +290,36 @@ let test_window_stats () =
     Alcotest.(check bool) "every event processed at least once" true
       (stats.events_processed >= 10)
 
+let test_query_times () =
+  let qt = Window.query_times in
+  Alcotest.(check (list int)) "basic sweep" [ 9; 19; 29; 35 ]
+    (qt ~lo:0 ~hi:35 ~window:10 ~step:10);
+  Alcotest.(check (list int)) "step landing on hi is not queried twice" [ 9; 19; 29 ]
+    (qt ~lo:0 ~hi:29 ~window:10 ~step:10);
+  Alcotest.(check (list int)) "stream shorter than one window: one query at hi" [ 5 ]
+    (qt ~lo:0 ~hi:5 ~window:100 ~step:10);
+  Alcotest.(check (list int)) "window exactly the extent: one query" [ 7 ]
+    (qt ~lo:3 ~hi:7 ~window:5 ~step:5);
+  Alcotest.(check (list int)) "single-point extent" [ 0 ] (qt ~lo:0 ~hi:0 ~window:1 ~step:1);
+  Alcotest.(check (list int)) "overlapping windows end exactly at hi" [ 4; 7; 10 ]
+    (qt ~lo:0 ~hi:10 ~window:5 ~step:3)
+
+let test_short_stream_single_query () =
+  let ed =
+    [ Parser.parse_definition ~name:"t"
+        "initiatedAt(on(D) = true, T) :- happensAt(switch_on(D), T)." ]
+  in
+  let stream = Stream.make [ ev 3 "switch_on(d)"; ev 8 "switch_on(d)" ] in
+  match
+    Window.run ~window:1000 ~step:1000 ~event_description:ed ~knowledge:Knowledge.empty
+      ~stream ()
+  with
+  | Error e -> Alcotest.failf "window run failed: %s" e
+  | Ok (result, stats) ->
+    Alcotest.(check int) "exactly one query" 1 stats.queries;
+    Alcotest.(check bool) "fluent recognised" true
+      (Engine.holds_at result (Parser.parse_term "on(d)", Term.Atom "true") 5)
+
 let test_windowed_equals_single_window () =
   (* With overlapping windows, windowed recognition over the gold ED must
      agree with a single query over the whole stream, modulo the final
@@ -350,6 +380,9 @@ let suite =
     Alcotest.test_case "carry seeds inertia at window start" `Quick test_carry_seeds_inertia;
     Alcotest.test_case "pattern queries on results" `Quick test_query_patterns;
     Alcotest.test_case "window statistics" `Quick test_window_stats;
+    Alcotest.test_case "query times" `Quick test_query_times;
+    Alcotest.test_case "short stream yields a single query" `Quick
+      test_short_stream_single_query;
     Alcotest.test_case "windowed run equals single window" `Quick
       test_windowed_equals_single_window;
   ]
