@@ -130,34 +130,71 @@ let tests =
       ];
   ]
 
-(* A cheap subset under a ~2-second budget: enough to verify the harness
-   (fixtures build, bechamel runs, the table and JSON writers work)
-   without the full sweep. *)
+(* Everything but the slow fig2c recognition kernels (~150 ms/run):
+   enough to verify the harness (fixtures build, bechamel runs, the
+   table and JSON writers work) without the full sweep. The fleet
+   recognition kernel (~2 ms/run) makes the smoke run exercise
+   Window.run/Engine and their telemetry counters (delta runs, cache
+   hits); the similarity/generation kernels give the overhead gate
+   enough instrumented rows for a stable median. *)
 let smoke_tests =
   List.filter
     (fun group ->
-      List.mem (Test.name group) [ "interval"; "assignment" ])
+      List.mem (Test.name group)
+        [
+          "interval";
+          "assignment";
+          "fleet-domain";
+          "similarity-fig2a-2b-kernel";
+          "generation-fig2a-kernel";
+        ])
     tests
 
 let benchmark ~smoke =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let quota = if smoke then 0.25 else 0.5 in
+  (* One quota for smoke and full sweeps: the OLS estimate of a short
+     benchmark depends systematically on the iteration counts the quota
+     allows (longer quota -> larger batches -> less amortised fixed
+     overhead in the slope), so the overhead gate is only meaningful
+     when the check run and the baseline were measured identically. *)
+  let quota = 0.5 in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 500) () in
   let suite = if smoke then smoke_tests else tests in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"adg" suite) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows =
-    List.map
-      (fun (name, ols) ->
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> (name, Some est)
-        | Some _ | None -> (name, None))
-      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  List.map
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> (name, Some est)
+      | Some _ | None -> (name, None))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* Repeated measurement with a per-benchmark minimum. Scheduler
+   preemption and frequency scaling only ever make a run *slower*, so
+   the min over [repeat] passes estimates the true cost far more stably
+   than any single pass — which is what a small-tolerance overhead gate
+   needs. A systematic instrumentation cost shifts the minimum too, so
+   the gate still catches it. *)
+let benchmark_min ~smoke ~repeat =
+  let min_est a b =
+    match (a, b) with
+    | Some a, Some b -> Some (Float.min a b)
+    | (Some _ as x), None | None, x -> x
   in
+  let best = ref [] in
+  for pass = 1 to repeat do
+    if repeat > 1 then Format.printf "benchmark pass %d/%d...@." pass repeat;
+    let rows = benchmark ~smoke in
+    best :=
+      if !best = [] then rows
+      else List.map (fun (name, est) -> (name, min_est est (List.assoc name !best))) rows
+  done;
+  let rows = !best in
   Format.printf "==============================================================@.";
-  Format.printf "Micro-benchmarks (monotonic clock, ns/run)@.";
+  Format.printf "Micro-benchmarks (monotonic clock, ns/run%s)@."
+    (if repeat > 1 then Printf.sprintf ", min of %d passes" repeat else "");
   Format.printf "==============================================================@.";
   List.iter
     (fun (name, est) ->
@@ -167,52 +204,212 @@ let benchmark ~smoke =
     rows;
   rows
 
-(* Machine-readable trajectory point: a flat JSON object mapping each test
-   name to its ns/run estimate (null when the OLS fit failed). *)
-let write_json file rows =
-  let oc = open_out file in
-  let escape s =
-    String.concat ""
-      (List.map
-         (function
-           | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-         (List.init (String.length s) (String.get s)))
+(* Machine-readable trajectory point: benchmark name -> ns/run estimate
+   (null when the OLS fit failed), plus a metrics snapshot when metric
+   collection was on — the counters explain the timings (cache hits,
+   delta runs, assignment iterations). *)
+let results_json rows =
+  let benchmarks =
+    List.map
+      (fun (name, est) ->
+        (name, match est with Some e -> Telemetry.Json.Num e | None -> Telemetry.Json.Null))
+      rows
   in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "  \"%s\": %s%s\n" (escape name)
-        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  output_string oc "}\n";
-  close_out oc;
+  let metrics =
+    if Telemetry.Metrics.is_enabled () then
+      Telemetry.Metrics.snapshot_to_json (Telemetry.Metrics.snapshot ())
+    else Telemetry.Json.Null
+  in
+  Telemetry.Json.Obj
+    [
+      ("schema", Telemetry.Json.Str "adg-bench/2");
+      ("benchmarks", Telemetry.Json.Obj benchmarks);
+      ("metrics", metrics);
+    ]
+
+let write_json file rows =
+  Telemetry.Json.write_file ~indent:true file (results_json rows);
   Format.printf "wrote %d benchmark estimates to %s@." (List.length rows) file
+
+(* Baseline comparison for the CI overhead gate: with telemetry disabled,
+   the instrumented binary must stay within [tolerance] of the committed
+   baseline on every benchmark it shares with it. Accepts both the
+   adg-bench/2 schema and the PR 1 flat {name: ns} format. *)
+let check_against_baseline ~baseline ~tolerance rows =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline_rows =
+    match Telemetry.Json.of_string (read_file baseline) with
+    | Error e ->
+      Printf.eprintf "cannot parse baseline %s: %s\n" baseline e;
+      exit 2
+    | Ok doc ->
+      let table =
+        match Telemetry.Json.member "benchmarks" doc with Some b -> b | None -> doc
+      in
+      (match Telemetry.Json.obj table with
+       | Some fields ->
+         List.filter_map
+           (fun (name, v) -> Option.map (fun x -> (name, x)) (Telemetry.Json.num v))
+           fields
+       | None ->
+         Printf.eprintf "baseline %s is not a benchmark table\n" baseline;
+         exit 2)
+  in
+  (* Individual micro-benchmarks jitter by several percent between runs,
+     and the machine itself drifts (frequency scaling, noisy
+     neighbours): the whole suite can read 5-10% slower than a baseline
+     recorded minutes earlier with no code change at all. So the gate is
+     differential: the suite contains *control* benchmarks with no
+     telemetry probes (the interval kernels), and uniform
+     machine drift moves controls and instrumented rows alike, so the
+     ratio of the two classes' *median* ratios cancels drift and
+     isolates the instrumentation overhead (medians rather than
+     geometric means: a single noisy row must not swing the verdict).
+     When the compared set lacks one of the classes, the gate falls
+     back to the overall median ratio. Per-benchmark deltas are printed
+     for attribution. *)
+  (* Only the interval kernels are probe-free; every other group records
+     at least one counter, so using it as a control would let a real
+     probe regression cancel itself out of the gate. *)
+  let is_control name = String.starts_with ~prefix:"adg/interval/" name in
+  let control = ref [] and instrumented = ref [] in
+  Format.printf "==============================================================@.";
+  Format.printf "Overhead check vs %s (tolerance %.1f%%)@." baseline (100. *. tolerance);
+  Format.printf "==============================================================@.";
+  List.iter
+    (fun (name, est) ->
+      match (est, List.assoc_opt name baseline_rows) with
+      | Some est, Some base when base > 0. && est > 0. ->
+        let ratio = est /. base in
+        let bucket = if is_control name then control else instrumented in
+        bucket := Float.log ratio :: !bucket;
+        Format.printf "%-58s %12.1f -> %12.1f ns/run  %+6.2f%% %s@." name base est
+          (100. *. (ratio -. 1.))
+          (if is_control name then "(control)" else "")
+      | _ -> ())
+    rows;
+  if !control = [] && !instrumented = [] then begin
+    Printf.eprintf "overhead check: no benchmark shared with the baseline\n";
+    exit 2
+  end;
+  let median logs =
+    let a = Array.of_list logs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let m = if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2. in
+    Float.exp m
+  in
+  let pct r = 100. *. (r -. 1.) in
+  let overhead =
+    match (!control, !instrumented) with
+    | [], logs | logs, [] ->
+      let g = median logs in
+      Format.printf "median ratio over %d benchmarks: %+.2f%%@." (List.length logs) (pct g);
+      g
+    | control, instrumented ->
+      let gc = median control and gi = median instrumented in
+      let g = gi /. gc in
+      Format.printf
+        "instrumented median %+.2f%% vs control median %+.2f%% -> drift-normalised \
+         overhead %+.2f%%@."
+        (pct gi) (pct gc) (pct g);
+      g
+  in
+  if overhead > 1. +. tolerance then begin
+    Printf.eprintf "overhead check: %+.2f%% exceeds %.1f%%\n" (pct overhead)
+      (100. *. tolerance);
+    exit 1
+  end
+  else Format.printf "overhead check: within tolerance@."
+
+let usage =
+  "usage: main.exe [--smoke] [--repeat N] [--json FILE] [--trace FILE]\n\
+  \       [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n"
 
 let () =
   let json_file = ref None and smoke = ref false in
+  let trace_file = ref None and metrics_file = ref None in
+  let check_file = ref None and tolerance = ref 0.02 and repeat = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
       json_file := Some file;
       parse rest
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse rest
+    | "--metrics" :: file :: rest ->
+      metrics_file := Some file;
+      parse rest
+    | "--check" :: file :: rest ->
+      check_file := Some file;
+      parse rest
+    | "--tolerance" :: x :: rest -> (
+      match float_of_string_opt x with
+      | Some t when t >= 0. ->
+        tolerance := t;
+        parse rest
+      | _ ->
+        Printf.eprintf "%s--tolerance expects a non-negative number, got %s\n" usage x;
+        exit 2)
+    | "--repeat" :: x :: rest -> (
+      match int_of_string_opt x with
+      | Some n when n >= 1 ->
+        repeat := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "%s--repeat expects a positive integer, got %s\n" usage x;
+        exit 2)
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: main.exe [--smoke] [--json FILE]\nunknown argument: %s\n" arg;
+      Printf.eprintf "%sunknown argument: %s\n" usage arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* Fail on an unwritable --json target now, not after the full sweep. *)
+  (* Fail on unwritable output targets now, not after the full sweep. *)
+  List.iter
+    (fun (flag, file) ->
+      Option.iter
+        (fun file ->
+          match open_out file with
+          | oc -> close_out oc
+          | exception Sys_error msg ->
+            Printf.eprintf "cannot write %s file: %s\n" flag msg;
+            exit 2)
+        file)
+    [ ("--json", !json_file); ("--trace", !trace_file); ("--metrics", !metrics_file) ];
+  (* An unreadable baseline should also fail before the sweep. *)
   Option.iter
     (fun file ->
-      match open_out file with
-      | oc -> close_out oc
-      | exception Sys_error msg ->
-        Printf.eprintf "cannot write --json file: %s\n" msg;
-        exit 2)
-    !json_file;
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "cannot read --check baseline: %s\n" file;
+        exit 2
+      end)
+    !check_file;
+  if Option.is_some !trace_file then Telemetry.Trace.enable ();
+  if Option.is_some !metrics_file then Telemetry.Metrics.enable ();
   if not !smoke then print_figures ();
-  let rows = benchmark ~smoke:!smoke in
-  Option.iter (fun file -> write_json file rows) !json_file
+  let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat in
+  Option.iter (fun file -> write_json file rows) !json_file;
+  Option.iter
+    (fun file ->
+      Telemetry.Metrics.write file;
+      Format.printf "wrote metrics snapshot to %s@." file)
+    !metrics_file;
+  Option.iter
+    (fun file ->
+      Telemetry.Trace.write_chrome file;
+      Format.printf "wrote Chrome trace (%d spans) to %s@."
+        (List.length (Telemetry.Trace.infos ()))
+        file)
+    !trace_file;
+  Option.iter
+    (fun baseline -> check_against_baseline ~baseline ~tolerance:!tolerance rows)
+    !check_file

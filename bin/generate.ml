@@ -19,7 +19,41 @@ let mode_arg =
        & info [ "print"; "p" ] ~docv:"WHAT"
            ~doc:"What to print: rules, transcript, similarity or corrected.")
 
-let run model scheme mode =
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a span trace of the pipeline (per-call LLM latency) and \
+                 write it as a Chrome trace_event file.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Collect pipeline metrics (calls, token counters, latency \
+                 histograms) and write a JSON snapshot.")
+
+(* Enable the requested telemetry sinks, failing on unwritable targets
+   before the session runs. *)
+let telemetry_setup ~trace ~metrics =
+  let probe flag file =
+    match open_out file with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write --%s file: %s\n" flag msg;
+      exit 2
+  in
+  Option.iter
+    (fun f ->
+      probe "trace" f;
+      Telemetry.Trace.enable ())
+    trace;
+  Option.iter
+    (fun f ->
+      probe "metrics" f;
+      Telemetry.Metrics.enable ())
+    metrics
+
+let run model scheme mode trace metrics =
+  telemetry_setup ~trace ~metrics;
   let scheme =
     match scheme with
     | None -> Adg.Profiles.reported_scheme model
@@ -36,7 +70,7 @@ let run model scheme mode =
       exit 2
   in
   let session = Adg.Session.run (Adg.Profiles.backend profile) in
-  match mode with
+  (match mode with
   | `Rules ->
     Format.printf "%s@."
       (Rtec.Printer.event_description_to_string (Adg.Session.event_description session))
@@ -55,8 +89,13 @@ let run model scheme mode =
     let ed, report = Adg.Correction.correct session in
     Format.printf "%% %d corrections applied@.%s@."
       (List.length report.changes)
-      (Rtec.Printer.event_description_to_string ed)
+      (Rtec.Printer.event_description_to_string ed));
+  Option.iter Telemetry.Trace.write_chrome trace;
+  Option.iter Telemetry.Metrics.write metrics
 
 let () =
   let doc = "Generate RTEC activity definitions with a (simulated) LLM." in
-  exit (Cmd.eval (Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ model_arg $ scheme_arg $ mode_arg)))
+  exit
+    (Cmd.eval
+       (Cmd.v (Cmd.info "generate" ~doc)
+          Term.(const run $ model_arg $ scheme_arg $ mode_arg $ trace_arg $ metrics_arg)))

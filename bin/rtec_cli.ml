@@ -18,6 +18,47 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --- telemetry plumbing shared by the subcommands --- *)
+
+let trace_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a span trace and write it as a Chrome trace_event file \
+              (load in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Collect pipeline metrics and write a JSON snapshot \
+              (counters, gauges, latency histograms).")
+
+(* Enable the requested telemetry sinks, failing on unwritable targets
+   before any work is done. *)
+let telemetry_setup ~trace ~metrics =
+  let probe flag file =
+    match open_out file with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write --%s file: %s\n" flag msg;
+      exit 2
+  in
+  Option.iter
+    (fun f ->
+      probe "trace" f;
+      Telemetry.Trace.enable ())
+    trace;
+  Option.iter
+    (fun f ->
+      probe "metrics" f;
+      Telemetry.Metrics.enable ())
+    metrics
+
+let telemetry_write ~trace ~metrics =
+  Option.iter Telemetry.Trace.write_chrome trace;
+  Option.iter Telemetry.Metrics.write metrics
+
 
 (* --- check --- *)
 
@@ -70,7 +111,8 @@ let recognise_cmd =
     Arg.(value & opt (some string) None & info [ "fluent"; "f" ] ~docv:"NAME/ARITY"
            ~doc:"Only print instances of this fluent, e.g. trawling/1.")
   in
-  let run ed_file stream_file kb_file window step fluent =
+  let run ed_file stream_file kb_file window step fluent trace metrics =
+    telemetry_setup ~trace ~metrics;
     match Rtec.Parser.parse_clauses_result (read_file ed_file) with
     | Error e ->
       Printf.eprintf "parse error in %s: %s\n" ed_file e;
@@ -88,6 +130,7 @@ let recognise_cmd =
         Printf.eprintf "recognition failed: %s\n" e;
         exit 1
       | Ok (result, stats) ->
+        telemetry_write ~trace ~metrics;
         Format.printf "%% %d queries, %d window-events@." stats.queries
           stats.events_processed;
         let selected =
@@ -108,7 +151,9 @@ let recognise_cmd =
   Cmd.v
     (Cmd.info "recognise"
        ~doc:"Run the engine over a stream file and print maximal intervals.")
-    Term.(const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ fluent_arg)
+    Term.(
+      const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ fluent_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- dataset --- *)
 

@@ -1,10 +1,20 @@
 #!/bin/sh
-# Minimal CI: build, tier-1 tests, and a 2-second benchmark-harness smoke
-# run (see bench/dune). The full benchmark sweep (`dune exec bench/main.exe
-# -- --json BENCH_adg.json`) is run manually when refreshing the
-# performance trajectory.
+# Minimal CI: build, tier-1 tests, a few-second benchmark-harness smoke run
+# (see bench/dune; it also writes a telemetry metrics snapshot next to
+# the timings, uploaded as a workflow artifact), and an overhead gate:
+# the same smoke subset re-run with telemetry disabled must stay within
+# 2% of the committed baseline, so instrumentation can never silently
+# tax the disabled path. The gate uses min-of-N estimates (--repeat;
+# scheduler/frequency noise is strictly additive, minima converge on
+# the true cost) and normalises the instrumented rows by probe-free
+# control benchmarks, cancelling whole-machine drift between the
+# baseline recording and the CI run. The full sweep (`dune exec
+# bench/main.exe -- --repeat 3 --json BENCH_adg.json --metrics
+# /tmp/m.json`) is run manually when refreshing the trajectory.
 set -eu
 
 dune build
 dune runtest
 dune build @bench-smoke
+dune exec bench/main.exe -- --smoke --repeat 8 --json /tmp/bench-smoke-plain.json \
+  --check BENCH_adg.json

@@ -1,3 +1,7 @@
+let m_calls = Telemetry.Metrics.counter "kuhn_munkres.calls"
+let m_iterations = Telemetry.Metrics.counter "kuhn_munkres.iterations"
+let h_n = Telemetry.Metrics.histogram "kuhn_munkres.n"
+
 (* Jonker-style O(n^3) implementation of the Hungarian algorithm using
    potentials and shortest augmenting paths. [u]/[v] are the row/column
    potentials; [way] records the alternating path for augmentation. Rows
@@ -10,6 +14,12 @@ let solve cost =
     cost;
   if n = 0 then ([||], 0.)
   else begin
+    Telemetry.Metrics.incr m_calls;
+    Telemetry.Metrics.observe h_n (float_of_int n);
+    (* Iterations are tallied locally and recorded once per solve: a
+       registry call inside the augmenting-path loop would cost several
+       percent even when telemetry is disabled. *)
+    let iterations = ref 0 in
     let u = Array.make (n + 1) 0. in
     let v = Array.make (n + 1) 0. in
     let p = Array.make (n + 1) 0 in
@@ -22,6 +32,7 @@ let solve cost =
       let used = Array.make (n + 1) false in
       let continue = ref true in
       while !continue do
+        incr iterations;
         used.(!j0) <- true;
         let i0 = p.(!j0) in
         let delta = ref infinity in
@@ -57,6 +68,7 @@ let solve cost =
       in
       augment !j0
     done;
+    Telemetry.Metrics.incr m_iterations ~by:!iterations;
     let assignment = Array.make n 0 in
     for j = 1 to n do
       if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1

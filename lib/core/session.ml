@@ -12,6 +12,16 @@ type t = {
   definitions : generated_definition list;
 }
 
+let m_calls = Telemetry.Metrics.counter "backend.calls"
+let m_prompt_tokens = Telemetry.Metrics.counter "backend.tokens.prompt"
+let m_completion_tokens = Telemetry.Metrics.counter "backend.tokens.completion"
+let h_call_ns = Telemetry.Metrics.histogram "backend.call_ns"
+
+(* The usual ~4-characters-per-token rule of thumb; the simulated
+   backends have no real tokeniser, but the counters keep the same shape
+   a live LLM deployment would report. *)
+let approx_tokens s = (String.length s + 3) / 4
+
 let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t) =
   let activities =
     match activities with
@@ -20,7 +30,28 @@ let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t)
   in
   let history = ref [] in
   let ask prompt =
-    let reply = backend.complete ~history:(List.rev !history) ~prompt in
+    let reply =
+      if not (Telemetry.Metrics.is_enabled () || Telemetry.Trace.is_enabled ()) then
+        backend.complete ~history:(List.rev !history) ~prompt
+      else begin
+        let sp = Telemetry.Trace.start "llm.call" in
+        let t0 = Telemetry.Clock.now_ns () in
+        let reply = backend.complete ~history:(List.rev !history) ~prompt in
+        let elapsed = Int64.sub (Telemetry.Clock.now_ns ()) t0 in
+        Telemetry.Metrics.incr m_calls;
+        Telemetry.Metrics.incr m_prompt_tokens ~by:(approx_tokens prompt);
+        Telemetry.Metrics.incr m_completion_tokens ~by:(approx_tokens reply);
+        Telemetry.Metrics.observe h_call_ns (Int64.to_float elapsed);
+        Telemetry.Trace.finish sp
+          ~args:
+            [
+              ("model", Telemetry.Trace.Str backend.model);
+              ("prompt_tokens", Telemetry.Trace.Int (approx_tokens prompt));
+              ("completion_tokens", Telemetry.Trace.Int (approx_tokens reply));
+            ];
+        reply
+      end
+    in
     history := (prompt, reply) :: !history;
     reply
   in

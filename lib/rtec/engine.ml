@@ -1,6 +1,14 @@
 type fvp = Term.t * Term.t
 type result = (fvp * Interval.t) list
 
+(* Telemetry probes: single-branch no-ops until [Telemetry.Metrics.enable]
+   is called, so they can sit inside the cache lookup path. *)
+let m_cache_hit = Telemetry.Metrics.counter "engine.cache.hit"
+let m_cache_miss = Telemetry.Metrics.counter "engine.cache.miss"
+let m_memo_hit = Telemetry.Metrics.counter "engine.holds_memo.hit"
+let m_memo_invalidation = Telemetry.Metrics.counter "engine.holds_memo.invalidation"
+let m_rule_evals = Telemetry.Metrics.counter "engine.rule_evaluations"
+
 module Cache = struct
   (* Maximal intervals of every ground FVP computed so far: the engine's
      bottom-up cache. Two-level index — indicator to per-FVP hashtable —
@@ -46,9 +54,13 @@ module Cache = struct
     t.generation <- t.generation + 1
 
   let lookup t ((fluent, _) as fv) =
-    match Hashtbl.find_opt t.by_indicator (Term.indicator fluent) with
-    | None -> None
-    | Some e -> H.find_opt e.by_fvp fv
+    let found =
+      match Hashtbl.find_opt t.by_indicator (Term.indicator fluent) with
+      | None -> None
+      | Some e -> H.find_opt e.by_fvp fv
+    in
+    Telemetry.Metrics.incr (match found with Some _ -> m_cache_hit | None -> m_cache_miss);
+    found
 
   let to_result t =
     Hashtbl.fold (fun _ e acc -> List.rev_append (entries_of e) acc) t.by_indicator []
@@ -137,8 +149,11 @@ let holding_at env ind t =
   let key = (t, ind) in
   let generation = env.cache.Cache.generation in
   match Hashtbl.find_opt env.holds_memo key with
-  | Some (g, fvps) when g = generation -> fvps
-  | _ ->
+  | Some (g, fvps) when g = generation ->
+    Telemetry.Metrics.incr m_memo_hit;
+    fvps
+  | found ->
+    if Option.is_some found then Telemetry.Metrics.incr m_memo_invalidation;
     let fvps =
       Cache.entries env.cache ind
       |> List.filter_map (fun (fv, spans) -> if Interval.mem t spans then Some fv else None)
@@ -193,6 +208,7 @@ and body_solutions env subst = function
    AreaType on a communication gap — and then act as patterns terminating
    every matching instance. *)
 let transition_points env (r : Ast.rule) ~fluent ~value ~time ~require_ground =
+  Telemetry.Metrics.incr m_rule_evals;
   body_solutions env Subst.empty r.Ast.body
   |> List.filter_map (fun s ->
          let f = Subst.apply s fluent and v = Subst.apply s value in
@@ -431,6 +447,7 @@ let evaluate_sd env (rules : Ast.rule list) =
     (fun (r : Ast.rule) ->
         match Ast.kind_of_rule r with
         | Some (Ast.Holds_for { fluent; value; interval }) -> (
+          Telemetry.Metrics.incr m_rule_evals;
           match sd_solutions env r Subst.empty Imap.empty r.body with
           | Result.Error e ->
             (* An ill-formed rule contributes nothing (the definition is

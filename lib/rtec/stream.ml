@@ -114,7 +114,14 @@ let events_at s ~functor_ ~time = events_in s ~functor_ ~from:time ~until:time
 let input_fluents s = s.input_fluents
 let indicators s = List.map fst (M.bindings s.by_indicator)
 
+let m_appends = Telemetry.Metrics.counter "stream.appends"
+let h_append_events = Telemetry.Metrics.histogram "stream.append_events"
+let h_merged_size = Telemetry.Metrics.histogram "stream.merged_size"
+
 let append a b =
+  Telemetry.Metrics.incr m_appends;
+  Telemetry.Metrics.observe h_append_events (float_of_int b.size);
+  Telemetry.Metrics.observe h_merged_size (float_of_int (a.size + b.size));
   (* Both event lists are already sorted: a single merge suffices.
      [List.merge] keeps elements of [a] before equal-time elements of [b],
      matching the stable sort in [make]. *)

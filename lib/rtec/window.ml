@@ -1,5 +1,11 @@
 type stats = { queries : int; events_processed : int }
 
+let m_queries = Telemetry.Metrics.counter "window.queries"
+let m_delta_runs = Telemetry.Metrics.counter "window.delta_runs"
+let m_full_runs = Telemetry.Metrics.counter "window.full_runs"
+let h_events = Telemetry.Metrics.histogram "window.events_per_query"
+let h_carry = Telemetry.Metrics.histogram "window.carry_size"
+
 module FvpMap = Map.Make (struct
   type t = Engine.fvp
 
@@ -53,6 +59,8 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
         | Some pq when delta_ok && pq + 1 >= window_start -> pq + 1
         | _ -> window_start
       in
+      let delta_run = eval_from > window_start in
+      let window_events = Stream.count_in stream ~from:eval_from ~until:q in
       (* FVPs holding at the evaluation start according to what has been
          recognised so far are carried over by inertia; every FVP ever
          recognised remains a grounding candidate for holdsFor schemas. *)
@@ -62,10 +70,24 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
             ((if Interval.mem eval_from spans then fv :: carry else carry), fv :: universe))
           !accumulated ([], [])
       in
-      match
+      Telemetry.Metrics.incr m_queries;
+      Telemetry.Metrics.incr (if delta_run then m_delta_runs else m_full_runs);
+      Telemetry.Metrics.observe h_events (float_of_int window_events);
+      Telemetry.Metrics.observe h_carry (float_of_int (List.length carry));
+      let sp = Telemetry.Trace.start "window.query" in
+      let outcome =
         Engine.run ~carry ~universe ~input_from:window_start ~event_description ~knowledge
           ~stream ~from:eval_from ~until:q ()
-      with
+      in
+      Telemetry.Trace.finish sp
+        ~args:
+          [
+            ("q", Telemetry.Trace.Int q);
+            ("delta", Telemetry.Trace.Bool delta_run);
+            ("events", Telemetry.Trace.Int window_events);
+            ("carry", Telemetry.Trace.Int (List.length carry));
+          ];
+      match outcome with
       | Result.Error e -> Some e
       | Ok result ->
         (* Truncate open intervals just past the query horizon so that the
@@ -73,7 +95,7 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
         let horizon = q + 2 in
         List.iter (fun (fv, spans) -> record (fv, Interval.clamp eval_from horizon spans)) result;
         incr queries;
-        events_processed := !events_processed + Stream.count_in stream ~from:eval_from ~until:q;
+        events_processed := !events_processed + window_events;
         prev_q := Some q;
         None
     in
@@ -81,7 +103,16 @@ let run ?window ?step ~event_description ~knowledge ~stream () =
       | [] -> None
       | q :: rest -> ( match process q with Some e -> Some e | None -> loop rest)
     in
-    match loop (query_times ~lo ~hi ~window ~step) with
+    match
+      Telemetry.Trace.with_span "window.run"
+        ~args:
+          [
+            ("window", Telemetry.Trace.Int window);
+            ("step", Telemetry.Trace.Int step);
+            ("delta_ok", Telemetry.Trace.Bool delta_ok);
+          ]
+        (fun () -> loop (query_times ~lo ~hi ~window ~step))
+    with
     | Some e -> Result.Error e
     | None ->
       let result = FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) !accumulated [] in

@@ -41,7 +41,15 @@ let cost_matrix d rows cols =
 
 type strategy = Hungarian | Greedy
 
+let m_assignments = Telemetry.Metrics.counter "similarity.assignments"
+let h_matrix_rows = Telemetry.Metrics.histogram "similarity.matrix.rows"
+let h_matrix_cols = Telemetry.Metrics.histogram "similarity.matrix.cols"
+
 let assign strategy matrix =
+  Telemetry.Metrics.incr m_assignments;
+  Telemetry.Metrics.observe h_matrix_rows (float_of_int (Array.length matrix));
+  Telemetry.Metrics.observe h_matrix_cols
+    (float_of_int (if Array.length matrix = 0 then 0 else Array.length matrix.(0)));
   match strategy with
   | Hungarian -> Assignment.Kuhn_munkres.solve_rectangular matrix
   | Greedy -> Assignment.Greedy.solve_rectangular matrix

@@ -1,0 +1,11 @@
+(** Monotonic time source shared by the tracer and instrumentation
+    points. Backed by [CLOCK_MONOTONIC] (via bechamel's no-alloc stub),
+    so readings are unaffected by wall-clock adjustments. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; strictly comparable
+    within a process. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to (fractional) microseconds — the unit of Chrome
+    [trace_event] timestamps. *)

@@ -1,0 +1,203 @@
+let on = ref false
+
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+(* Log-scale histogram: bucket [b] covers values up to [2 ** (b / 4)]
+   (quarter-powers of two, ~19% relative width), so percentiles over
+   nanosecond latencies and element counts come out within one bucket
+   of the truth at constant memory. Count/sum/min/max are exact. *)
+let buckets = 256
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+
+let register name make describe =
+  match Hashtbl.find_opt registry name with
+  | Some item -> (
+    match describe item with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Metrics: %s already registered with another type" name))
+  | None ->
+    let x, item = make () in
+    Hashtbl.replace registry name item;
+    x
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.; g_set = false } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+          h_buckets = Array.make buckets 0;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+let value c = c.c_value
+let set g v =
+  if !on then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let bucket_of v =
+  if v <= 1. then 0
+  else
+    let b = int_of_float (Float.ceil (4. *. (Float.log v /. Float.log 2.))) in
+    min (buckets - 1) (max 0 b)
+
+let bucket_upper b = Float.pow 2. (float_of_int b /. 4.)
+
+let observe h v =
+  if !on then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+let quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank = max 1 (min h.h_count (int_of_float (Float.ceil (q *. float_of_int h.h_count)))) in
+    let b = ref (buckets - 1) in
+    let cum = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         cum := !cum + h.h_buckets.(i);
+         if !cum >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* The bucket's upper bound, clamped into the observed range. *)
+    Float.min h.h_max (Float.max h.h_min (bucket_upper !b))
+  end
+
+let reset () =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+        g.g_value <- 0.;
+        g.g_set <- false
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        h.h_min <- Float.infinity;
+        h.h_max <- Float.neg_infinity;
+        Array.fill h.h_buckets 0 buckets 0)
+    registry
+
+(* --- snapshots --- *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary) list;
+}
+
+let summarise h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = (if h.h_count = 0 then 0. else h.h_min);
+    max = (if h.h_count = 0 then 0. else h.h_max);
+    mean = (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count);
+    p50 = quantile h 0.50;
+    p90 = quantile h 0.90;
+    p99 = quantile h 0.99;
+  }
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name item ->
+      match item with
+      | Counter c -> counters := (name, c.c_value) :: !counters
+      | Gauge g -> if g.g_set then gauges := (name, g.g_value) :: !gauges
+      | Histogram h -> if h.h_count > 0 then histograms := (name, summarise h) :: !histograms)
+    registry;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let find_counter snap name = List.assoc_opt name snap.counters
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.count));
+      ("sum", Json.Num s.sum);
+      ("min", Json.Num s.min);
+      ("max", Json.Num s.max);
+      ("mean", Json.Num s.mean);
+      ("p50", Json.Num s.p50);
+      ("p90", Json.Num s.p90);
+      ("p99", Json.Num s.p99);
+    ]
+
+let snapshot_to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) snap.counters) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) snap.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) snap.histograms));
+    ]
+
+let to_json () = snapshot_to_json (snapshot ())
+let write file = Json.write_file ~indent:true file (to_json ())

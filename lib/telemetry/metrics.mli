@@ -1,0 +1,63 @@
+(** Process-global metrics registry: counters, gauges and log-scale
+    histograms.
+
+    Instrumented modules create handles once at module initialisation
+    ([let hits = Telemetry.Metrics.counter "engine.cache.hit"]) and
+    record through them; recording is gated on a single [bool ref]
+    (disabled by default) so probes can live in hot loops. Handles with
+    the same name share state; re-registering a name with a different
+    type raises [Invalid_argument]. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+(** Current count (readable even while disabled). *)
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Record one sample. Buckets are quarter-powers of two (~19%
+    relative width), so percentile estimates are exact to within one
+    bucket; count/sum/min/max are exact. *)
+
+(** {1 Snapshots} *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** only gauges that were set *)
+  histograms : (string * summary) list;  (** only non-empty histograms *)
+}
+
+val snapshot : unit -> snapshot
+val find_counter : snapshot -> string -> int option
+val snapshot_to_json : snapshot -> Json.t
+val to_json : unit -> Json.t
+val write : string -> unit
+(** Write the current snapshot as indented JSON to a file. *)

@@ -1,0 +1,207 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type cell = {
+  id : int;  (* 1-based; doubles as the span token *)
+  parent : int;  (* 0 = root *)
+  name : string;
+  start_ns : int64;
+  mutable stop_ns : int64;  (* negative while the span is open *)
+  mutable args : (string * value) list;
+}
+
+type span = int
+
+let null_span = 0
+let on = ref false
+
+(* Completed and open spans, in start order: a growable array so the
+   enabled path costs one bounds check and one write per event. *)
+let cells : cell array ref = ref [||]
+let count = ref 0
+let stack : int list ref = ref []
+let dropped = ref 0
+let max_spans = ref 1_000_000
+
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+let reset () =
+  cells := [||];
+  count := 0;
+  stack := [];
+  dropped := 0
+
+let set_max_spans n = max_spans := max 0 n
+
+let dummy = { id = 0; parent = 0; name = ""; start_ns = 0L; stop_ns = 0L; args = [] }
+
+let grow () =
+  let cap = Array.length !cells in
+  let fresh = Array.make (if cap = 0 then 1024 else 2 * cap) dummy in
+  Array.blit !cells 0 fresh 0 cap;
+  cells := fresh
+
+let start ?(args = []) name =
+  if not !on then null_span
+  else if !count >= !max_spans then begin
+    incr dropped;
+    null_span
+  end
+  else begin
+    if !count >= Array.length !cells then grow ();
+    let id = !count + 1 in
+    let parent = match !stack with [] -> 0 | p :: _ -> p in
+    !cells.(!count) <- { id; parent; name; start_ns = Clock.now_ns (); stop_ns = -1L; args };
+    incr count;
+    stack := id :: !stack;
+    id
+  end
+
+let finish ?(args = []) span =
+  if span > 0 && span <= !count then begin
+    let c = !cells.(span - 1) in
+    if c.stop_ns < 0L then c.stop_ns <- Clock.now_ns ();
+    if args <> [] then c.args <- c.args @ args;
+    (* Unwind to this span; an out-of-order finish closes the span but
+       leaves well-nested ancestors alone. *)
+    let rec pop = function
+      | [] -> []
+      | x :: rest when x = span -> rest
+      | _ :: rest -> pop rest
+    in
+    if List.mem span !stack then stack := pop !stack
+  end
+
+let with_span ?args name f =
+  if not !on then f ()
+  else begin
+    let sp = start ?args name in
+    match f () with
+    | v ->
+      finish sp;
+      v
+    | exception e ->
+      finish sp;
+      raise e
+  end
+
+let instant ?args name = finish (start ?args name)
+
+(* --- export --- *)
+
+type info = {
+  span_id : int;
+  span_parent : int;
+  span_name : string;
+  t_ns : int64;  (* relative to the first span *)
+  dur_ns : int64;
+  span_args : (string * value) list;
+}
+
+let dropped_spans () = !dropped
+
+let infos () =
+  if !count = 0 then []
+  else begin
+    let t0 = !cells.(0).start_ns in
+    List.init !count (fun i ->
+        let c = !cells.(i) in
+        let stop = if c.stop_ns < 0L then Clock.now_ns () else c.stop_ns in
+        {
+          span_id = c.id;
+          span_parent = c.parent;
+          span_name = c.name;
+          t_ns = Int64.sub c.start_ns t0;
+          dur_ns = Int64.sub stop c.start_ns;
+          span_args = c.args;
+        })
+  end
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int n -> Json.Num (float_of_int n)
+  | Float x -> Json.Num x
+  | Str s -> Json.Str s
+
+let args_to_json args = Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun i ->
+         Json.Obj
+           [
+             ("id", Json.Num (float_of_int i.span_id));
+             ("parent", Json.Num (float_of_int i.span_parent));
+             ("name", Json.Str i.span_name);
+             ("t_ns", Json.Num (Int64.to_float i.t_ns));
+             ("dur_ns", Json.Num (Int64.to_float i.dur_ns));
+             ("args", args_to_json i.span_args);
+           ])
+       (infos ()))
+
+(* Chrome trace_event format ("X" complete events, microsecond
+   timestamps), loadable in chrome://tracing and Perfetto. *)
+let to_chrome () =
+  let events =
+    List.map
+      (fun i ->
+        Json.Obj
+          [
+            ("name", Json.Str i.span_name);
+            ("cat", Json.Str "adg");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (Clock.ns_to_us i.t_ns));
+            ("dur", Json.Num (Clock.ns_to_us i.dur_ns));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num 1.);
+            ("args", args_to_json i.span_args);
+          ])
+      (infos ())
+  in
+  let meta =
+    if !dropped = 0 then []
+    else [ ("adg_dropped_spans", Json.Num (float_of_int !dropped)) ]
+  in
+  Json.Obj ((("traceEvents", Json.List events) :: ("displayTimeUnit", Json.Str "ms") :: meta))
+
+let value_to_string = function
+  | Bool b -> string_of_bool b
+  | Int n -> string_of_int n
+  | Float x -> Printf.sprintf "%g" x
+  | Str s -> s
+
+let to_text () =
+  let all = infos () in
+  let buf = Buffer.create 1024 in
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun i -> Hashtbl.replace children i.span_parent
+        (i :: Option.value ~default:[] (Hashtbl.find_opt children i.span_parent)))
+    (List.rev all);
+  let rec render depth i =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %12.3f ms%s\n" (String.make (2 * depth) ' ')
+         (max 1 (40 - (2 * depth)))
+         i.span_name
+         (Int64.to_float i.dur_ns /. 1e6)
+         (match i.span_args with
+          | [] -> ""
+          | args ->
+            "  {" ^ String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) args) ^ "}"));
+    List.iter (render (depth + 1)) (Option.value ~default:[] (Hashtbl.find_opt children i.span_id))
+  in
+  List.iter (render 0) (Option.value ~default:[] (Hashtbl.find_opt children 0));
+  if !dropped > 0 then Buffer.add_string buf (Printf.sprintf "(%d spans dropped)\n" !dropped);
+  Buffer.contents buf
+
+let write_chrome file = Json.write_file ~indent:false file (to_chrome ())
+let write_json file = Json.write_file ~indent:true file (to_json ())
+
+let write_text file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_text ()))

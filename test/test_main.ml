@@ -14,4 +14,5 @@ let () =
       ("differential", Test_differential.suite);
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,290 @@
+(* Unit tests for the telemetry subsystem: span nesting and ordering,
+   histogram percentiles, disabled no-op semantics, JSON round-trips,
+   the Chrome trace_event exporter — and the differential gate: stream
+   recognition is bit-identical with telemetry on vs. off. *)
+
+open Telemetry
+
+(* Every test leaves the tracer and registry disabled and empty so the
+   other suites (which share the process-global state) are unaffected. *)
+let scoped f =
+  Trace.reset ();
+  Trace.enable ();
+  Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Metrics.disable ();
+      Trace.reset ();
+      Metrics.reset ())
+    f
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  scoped (fun () ->
+      let a = Trace.start "a" in
+      let b = Trace.start "b" in
+      Trace.finish b;
+      let c = Trace.start "c" ~args:[ ("k", Trace.Int 7) ] in
+      Trace.finish c;
+      Trace.finish a;
+      let root = Trace.start "root2" in
+      Trace.finish root;
+      match Trace.infos () with
+      | [ ia; ib; ic; iroot ] ->
+        Alcotest.(check (list string))
+          "start order" [ "a"; "b"; "c"; "root2" ]
+          [ ia.Trace.span_name; ib.span_name; ic.span_name; iroot.span_name ];
+        Alcotest.(check int) "a is a root" 0 ia.span_parent;
+        Alcotest.(check int) "b nested under a" ia.span_id ib.span_parent;
+        Alcotest.(check int) "c nested under a (b closed)" ia.span_id ic.span_parent;
+        Alcotest.(check int) "root2 is a root (a closed)" 0 iroot.span_parent;
+        Alcotest.(check bool) "timestamps are ordered" true
+          (ia.t_ns <= ib.t_ns && ib.t_ns <= ic.t_ns && ic.t_ns <= iroot.t_ns);
+        Alcotest.(check bool) "parent spans its children" true
+          (Int64.add ia.t_ns ia.dur_ns >= Int64.add ic.t_ns ic.dur_ns);
+        Alcotest.(check bool) "args are kept" true (ic.span_args = [ ("k", Trace.Int 7) ])
+      | infos -> Alcotest.failf "expected 4 spans, got %d" (List.length infos))
+
+let test_with_span_exception () =
+  scoped (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+      let after = Trace.start "after" in
+      Trace.finish after;
+      match Trace.infos () with
+      | [ boom; after ] ->
+        Alcotest.(check string) "failed span recorded" "boom" boom.Trace.span_name;
+        Alcotest.(check int) "stack unwound after exception" 0 after.span_parent
+      | infos -> Alcotest.failf "expected 2 spans, got %d" (List.length infos))
+
+let test_disabled_noop () =
+  Trace.reset ();
+  Trace.disable ();
+  Metrics.disable ();
+  let sp = Trace.start "ignored" in
+  Trace.finish sp;
+  Alcotest.(check int) "no span recorded while disabled" 0 (List.length (Trace.infos ()));
+  Alcotest.(check int) "with_span still runs the body" 41
+    (Trace.with_span "ignored" (fun () -> 41));
+  let c = Metrics.counter "test.disabled_counter" in
+  Metrics.incr c;
+  Metrics.incr c ~by:10;
+  Alcotest.(check int) "counter frozen while disabled" 0 (Metrics.value c)
+
+let test_span_cap () =
+  scoped (fun () ->
+      Trace.set_max_spans 3;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_max_spans 1_000_000)
+        (fun () ->
+          for _ = 1 to 5 do
+            Trace.finish (Trace.start "s")
+          done;
+          Alcotest.(check int) "capped at 3" 3 (List.length (Trace.infos ()));
+          Alcotest.(check int) "overflow counted" 2 (Trace.dropped_spans ())))
+
+(* --- metrics --- *)
+
+let test_counters_and_gauges () =
+  scoped (fun () ->
+      let c = Metrics.counter "test.counter" in
+      Metrics.incr c;
+      Metrics.incr c ~by:41;
+      Alcotest.(check int) "counter accumulates" 42 (Metrics.value c);
+      Alcotest.(check bool) "same name, same counter" true
+        (Metrics.counter "test.counter" == c);
+      let g = Metrics.gauge "test.gauge" in
+      let snap = Metrics.snapshot () in
+      Alcotest.(check (option int)) "snapshot sees the counter" (Some 42)
+        (Metrics.find_counter snap "test.counter");
+      Alcotest.(check bool) "unset gauge hidden" true
+        (not (List.mem_assoc "test.gauge" snap.Metrics.gauges));
+      Metrics.set g 2.5;
+      let snap = Metrics.snapshot () in
+      Alcotest.(check (option (float 1e-9))) "set gauge visible" (Some 2.5)
+        (List.assoc_opt "test.gauge" snap.Metrics.gauges);
+      Metrics.reset ();
+      Alcotest.(check int) "reset zeroes counters" 0 (Metrics.value c))
+
+let test_kind_clash () =
+  Alcotest.check_raises "counter vs histogram"
+    (Invalid_argument "Metrics: test.clash already registered with another type") (fun () ->
+      ignore (Metrics.counter "test.clash");
+      ignore (Metrics.histogram "test.clash"))
+
+let test_histogram_percentiles () =
+  scoped (fun () ->
+      let h = Metrics.histogram "test.histogram" in
+      for i = 1 to 1000 do
+        Metrics.observe h (float_of_int i)
+      done;
+      let snap = Metrics.snapshot () in
+      let s = List.assoc "test.histogram" snap.Metrics.histograms in
+      Alcotest.(check int) "count is exact" 1000 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum is exact" 500500. s.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min is exact" 1. s.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max is exact" 1000. s.Metrics.max;
+      Alcotest.(check (float 1e-9)) "mean is exact" 500.5 s.Metrics.mean;
+      (* Buckets are quarter-powers of two: estimates land within one
+         bucket (a factor of 2**0.25 ~ 1.19) above the true quantile. *)
+      let within q est =
+        let truth = q *. 1000. in
+        est >= truth && est <= truth *. 1.19
+      in
+      Alcotest.(check bool) (Printf.sprintf "p50=%.1f within a bucket" s.Metrics.p50) true
+        (within 0.50 s.Metrics.p50);
+      Alcotest.(check bool) (Printf.sprintf "p90=%.1f within a bucket" s.Metrics.p90) true
+        (within 0.90 s.Metrics.p90);
+      Alcotest.(check bool) (Printf.sprintf "p99=%.1f within a bucket" s.Metrics.p99) true
+        (within 0.99 s.Metrics.p99))
+
+let test_histogram_single_value () =
+  scoped (fun () ->
+      let h = Metrics.histogram "test.histogram_single" in
+      Metrics.observe h 7.;
+      let s = List.assoc "test.histogram_single" (Metrics.snapshot ()).Metrics.histograms in
+      Alcotest.(check (float 1e-9)) "p50 clamps to the only value" 7. s.Metrics.p50;
+      Alcotest.(check (float 1e-9)) "p99 clamps to the only value" 7. s.Metrics.p99)
+
+(* --- JSON --- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.Num 42.);
+      ("float", Json.Num 1.5);
+      ("text", Json.Str "line\n\"quoted\" \\ end");
+      ("list", Json.List [ Json.Num 1.; Json.Str "two"; Json.Obj [] ]);
+      ("empty", Json.List []);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match Json.of_string (Json.to_string ~indent sample_json) with
+      | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = sample_json)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ false; true ]
+
+let test_json_errors () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected a parse error on %S" input)
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{} trailing" ]
+
+let test_chrome_export () =
+  scoped (fun () ->
+      Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+      let doc = Trace.to_chrome () in
+      (* The document must survive its own serialisation (what the file
+         contains) and have the trace_event shape. *)
+      let doc =
+        match Json.of_string (Json.to_string doc) with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+      in
+      match Option.bind (Json.member "traceEvents" doc) Json.list with
+      | Some [ outer; inner ] ->
+        List.iter
+          (fun (label, ev, name) ->
+            Alcotest.(check (option string)) (label ^ " name") (Some name)
+              (Option.bind (Json.member "name" ev) Json.str);
+            Alcotest.(check (option string)) (label ^ " is a complete event") (Some "X")
+              (Option.bind (Json.member "ph" ev) Json.str);
+            Alcotest.(check bool) (label ^ " has numeric ts/dur") true
+              (Option.is_some (Option.bind (Json.member "ts" ev) Json.num)
+              && Option.is_some (Option.bind (Json.member "dur" ev) Json.num)))
+          [ ("outer", outer, "outer"); ("inner", inner, "inner") ]
+      | _ -> Alcotest.fail "expected exactly two traceEvents")
+
+let test_text_export () =
+  scoped (fun () ->
+      Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+      let text = Trace.to_text () in
+      let lines = String.split_on_char '\n' text in
+      Alcotest.(check bool) "outer on the first line" true
+        (match lines with l :: _ -> String.length l > 0 && l.[0] = 'o' | [] -> false);
+      Alcotest.(check bool) "inner is indented" true
+        (List.exists (fun l -> String.length l > 2 && String.sub l 0 2 = "  ") lines))
+
+let test_metrics_json () =
+  scoped (fun () ->
+      Metrics.incr (Metrics.counter "test.json_counter") ~by:5;
+      Metrics.observe (Metrics.histogram "test.json_histogram") 100.;
+      let doc =
+        match Json.of_string (Json.to_string (Metrics.to_json ())) with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "snapshot is not valid JSON: %s" e
+      in
+      let counter =
+        Option.bind (Json.member "counters" doc) (Json.member "test.json_counter")
+      in
+      Alcotest.(check (option (float 1e-9))) "counter serialised" (Some 5.)
+        (Option.bind counter Json.num);
+      let p50 =
+        Option.bind (Json.member "histograms" doc) (fun h ->
+            Option.bind (Json.member "test.json_histogram" h) (Json.member "p50"))
+      in
+      Alcotest.(check bool) "histogram summary serialised" true
+        (Option.is_some (Option.bind p50 Json.num)))
+
+(* --- differential: recognition is unaffected by telemetry --- *)
+
+let normalised result =
+  List.sort compare
+    (List.map
+       (fun ((f, v), spans) ->
+         ((Rtec.Term.to_string f, Rtec.Term.to_string v), Rtec.Interval.to_list spans))
+       result)
+
+let test_recognition_bit_identical () =
+  let data =
+    Maritime.Dataset.generate ~config:{ Maritime.Dataset.seed = 3; replicas = 1; nominal = 0 } ()
+  in
+  let recognise () =
+    match
+      Rtec.Window.run ~window:3600 ~step:1800
+        ~event_description:Maritime.Gold.event_description ~knowledge:data.knowledge
+        ~stream:data.stream ()
+    with
+    | Ok (result, _) -> normalised result
+    | Error e -> Alcotest.failf "recognition failed: %s" e
+  in
+  let off = recognise () in
+  Alcotest.(check bool) "recognition is non-trivial" true (off <> []);
+  let on =
+    scoped (fun () ->
+        let on = recognise () in
+        Alcotest.(check bool) "spans were recorded" true (Trace.infos () <> []);
+        Alcotest.(check bool) "queries were counted" true
+          (Metrics.find_counter (Metrics.snapshot ()) "window.queries" <> Some 0);
+        on)
+  in
+  Alcotest.(check bool) "bit-identical with telemetry on vs. off" true (off = on);
+  let off_again = recognise () in
+  Alcotest.(check bool) "bit-identical after disabling again" true (off = off_again)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "with_span closes on exception" `Quick test_with_span_exception;
+    Alcotest.test_case "disabled telemetry is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "span cap drops and counts" `Quick test_span_cap;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "name registered twice with another type" `Quick test_kind_clash;
+    Alcotest.test_case "histogram percentiles within one bucket" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "histogram of a single value" `Quick test_histogram_single_value;
+    Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON parse errors" `Quick test_json_errors;
+    Alcotest.test_case "Chrome trace_event export" `Quick test_chrome_export;
+    Alcotest.test_case "text export indents children" `Quick test_text_export;
+    Alcotest.test_case "metrics snapshot JSON" `Quick test_metrics_json;
+    Alcotest.test_case "recognition bit-identical with telemetry on vs. off" `Quick
+      test_recognition_bit_identical;
+  ]
