@@ -51,10 +51,32 @@ let small_dataset =
     ~config:{ Maritime.Dataset.seed = 99; replicas = 1; nominal = 1 }
     ()
 
+(* More background vessels than the fig2c fixture so the entity
+   partition yields four-plus balanced shards for the jobs-scaling rows.
+   Lazy: the smoke suite never touches it. *)
+let multicore_dataset =
+  lazy
+    (Maritime.Dataset.generate
+       ~config:{ Maritime.Dataset.seed = 99; replicas = 1; nominal = 3 }
+       ())
+
 let recognise ~window ~step () =
   match
-    Rtec.Window.run ~window ~step ~event_description:Maritime.Gold.event_description
+    Runtime.run
+      ~config:(Runtime.config ~window ~step ())
+      ~event_description:Maritime.Gold.event_description
       ~knowledge:small_dataset.knowledge ~stream:small_dataset.stream ()
+  with
+  | Ok (result, _) -> ignore result
+  | Error e -> failwith e
+
+let recognise_multicore ~jobs () =
+  let d = Lazy.force multicore_dataset in
+  match
+    Runtime.run
+      ~config:(Runtime.config ~window:3600 ~step:1800 ~jobs ())
+      ~event_description:Maritime.Gold.event_description ~knowledge:d.knowledge
+      ~stream:d.stream ()
   with
   | Ok (result, _) -> ignore result
   | Error e -> failwith e
@@ -115,6 +137,18 @@ let tests =
         Test.make ~name:"window-2h-step-1h" (Staged.stage (recognise ~window:7200 ~step:3600));
         Test.make ~name:"window-4h-step-2h" (Staged.stage (recognise ~window:14400 ~step:7200));
       ];
+    (* Jobs-scaling sweep over the fig2c workload: the same sliding
+       window recognised sequentially and on 2 and 4 worker domains.
+       Sharding conserves engine work exactly (the partition is
+       work-neutral), so these rows isolate the domain fan-out cost or
+       gain of the host: near-linear gains on a multicore machine,
+       GC-barrier overhead on a single-core one (see EXPERIMENTS.md). *)
+    Test.make_grouped ~name:"recognition-fig2c-multicore"
+      [
+        Test.make ~name:"window-1h-jobs-1" (Staged.stage (recognise_multicore ~jobs:1));
+        Test.make ~name:"window-1h-jobs-2" (Staged.stage (recognise_multicore ~jobs:2));
+        Test.make ~name:"window-1h-jobs-4" (Staged.stage (recognise_multicore ~jobs:4));
+      ];
     Test.make_grouped ~name:"fleet-domain"
       [
         (let stream, knowledge = Fleet.generate () in
@@ -122,22 +156,46 @@ let tests =
          Test.make ~name:"recognition-window-1h"
            (Staged.stage (fun () ->
                 match
-                  Rtec.Window.run ~window:3600 ~step:1800 ~event_description:ed ~knowledge
-                    ~stream ()
+                  Runtime.run
+                    ~config:(Runtime.config ~window:3600 ~step:1800 ())
+                    ~event_description:ed ~knowledge ~stream ()
                 with
                 | Ok _ -> ()
                 | Error e -> failwith e)));
       ];
   ]
 
+(* Smoke-only parallel row: recognises the (cheap) fleet workload on
+   [jobs] worker domains, exercising the pool, the entity partition and
+   the per-domain telemetry merge in CI. The row name embeds the jobs
+   value, so the drift gate only compares it against a baseline recorded
+   with the same fan-out — and skips it against the sequential full-sweep
+   baseline. *)
+let multicore_smoke ~jobs =
+  let stream, knowledge = Fleet.generate () in
+  let ed = Domain.event_description Fleet.domain in
+  Test.make_grouped ~name:"multicore-smoke"
+    [
+      Test.make
+        ~name:(Printf.sprintf "fleet-window-1h-jobs-%d" jobs)
+        (Staged.stage (fun () ->
+             match
+               Runtime.run
+                 ~config:(Runtime.config ~window:3600 ~step:1800 ~jobs ())
+                 ~event_description:ed ~knowledge ~stream ()
+             with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+    ]
+
 (* Everything but the slow fig2c recognition kernels (~150 ms/run):
    enough to verify the harness (fixtures build, bechamel runs, the
    table and JSON writers work) without the full sweep. The fleet
    recognition kernel (~2 ms/run) makes the smoke run exercise
-   Window.run/Engine and their telemetry counters (delta runs, cache
-   hits); the similarity/generation kernels give the overhead gate
+   Runtime.run/Window/Engine and their telemetry counters (delta runs,
+   cache hits); the similarity/generation kernels give the overhead gate
    enough instrumented rows for a stable median. *)
-let smoke_tests =
+let smoke_tests ~jobs =
   List.filter
     (fun group ->
       List.mem (Test.name group)
@@ -149,8 +207,9 @@ let smoke_tests =
           "generation-fig2a-kernel";
         ])
     tests
+  @ [ multicore_smoke ~jobs ]
 
-let benchmark ~smoke =
+let benchmark ~smoke ~jobs =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   (* One quota for smoke and full sweeps: the OLS estimate of a short
@@ -160,7 +219,7 @@ let benchmark ~smoke =
      when the check run and the baseline were measured identically. *)
   let quota = 0.5 in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 500) () in
-  let suite = if smoke then smoke_tests else tests in
+  let suite = if smoke then smoke_tests ~jobs else tests in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"adg" suite) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
@@ -177,7 +236,7 @@ let benchmark ~smoke =
    than any single pass — which is what a small-tolerance overhead gate
    needs. A systematic instrumentation cost shifts the minimum too, so
    the gate still catches it. *)
-let benchmark_min ~smoke ~repeat =
+let benchmark_min ~smoke ~repeat ~jobs =
   let min_est a b =
     match (a, b) with
     | Some a, Some b -> Some (Float.min a b)
@@ -186,7 +245,7 @@ let benchmark_min ~smoke ~repeat =
   let best = ref [] in
   for pass = 1 to repeat do
     if repeat > 1 then Format.printf "benchmark pass %d/%d...@." pass repeat;
-    let rows = benchmark ~smoke in
+    let rows = benchmark ~smoke ~jobs in
     best :=
       if !best = [] then rows
       else List.map (fun (name, est) -> (name, min_est est (List.assoc name !best))) rows
@@ -328,13 +387,14 @@ let check_against_baseline ~baseline ~tolerance rows =
   else Format.printf "overhead check: within tolerance@."
 
 let usage =
-  "usage: main.exe [--smoke] [--repeat N] [--json FILE] [--trace FILE]\n\
+  "usage: main.exe [--smoke] [--jobs N] [--repeat N] [--json FILE] [--trace FILE]\n\
   \       [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n"
 
 let () =
   let json_file = ref None and smoke = ref false in
   let trace_file = ref None and metrics_file = ref None in
   let check_file = ref None and tolerance = ref 0.02 and repeat = ref 1 in
+  let jobs = ref 2 in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -364,6 +424,14 @@ let () =
         parse rest
       | _ ->
         Printf.eprintf "%s--repeat expects a positive integer, got %s\n" usage x;
+        exit 2)
+    | "--jobs" :: x :: rest -> (
+      match int_of_string_opt x with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "%s--jobs expects a positive integer, got %s\n" usage x;
         exit 2)
     | "--smoke" :: rest ->
       smoke := true;
@@ -396,7 +464,7 @@ let () =
   if Option.is_some !trace_file then Telemetry.Trace.enable ();
   if Option.is_some !metrics_file then Telemetry.Metrics.enable ();
   if not !smoke then print_figures ();
-  let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat in
+  let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat ~jobs:!jobs in
   Option.iter (fun file -> write_json file rows) !json_file;
   Option.iter
     (fun file ->

@@ -111,7 +111,17 @@ let recognise_cmd =
     Arg.(value & opt (some string) None & info [ "fluent"; "f" ] ~docv:"NAME/ARITY"
            ~doc:"Only print instances of this fluent, e.g. trawling/1.")
   in
-  let run ed_file stream_file kb_file window step fluent trace metrics =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains: shard the stream by entity and recognise the \
+                 shards in parallel. The result is bit-identical to --jobs 1.")
+  in
+  let shards_arg =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard-count override (defaults to --jobs); more shards than \
+                 jobs gives finer load balancing.")
+  in
+  let run ed_file stream_file kb_file window step jobs shards fluent trace metrics =
     telemetry_setup ~trace ~metrics;
     match Rtec.Parser.parse_clauses_result (read_file ed_file) with
     | Error e ->
@@ -125,14 +135,15 @@ let recognise_cmd =
         | Some f -> Rtec.Knowledge.of_source (read_file f)
       in
       let stream = Rtec.Io.stream_of_string (read_file stream_file) in
-      match Rtec.Window.run ?window ?step ~event_description:ed ~knowledge ~stream () with
+      let config = Runtime.config ?window ?step ~jobs ?shards () in
+      match Runtime.run ~config ~event_description:ed ~knowledge ~stream () with
       | Error e ->
         Printf.eprintf "recognition failed: %s\n" e;
         exit 1
       | Ok (result, stats) ->
         telemetry_write ~trace ~metrics;
-        Format.printf "%% %d queries, %d window-events@." stats.queries
-          stats.events_processed;
+        Format.printf "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
+          stats.queries stats.events_processed stats.shards stats.jobs;
         let selected =
           match fluent with
           | None -> result
@@ -152,8 +163,8 @@ let recognise_cmd =
     (Cmd.info "recognise"
        ~doc:"Run the engine over a stream file and print maximal intervals.")
     Term.(
-      const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ fluent_arg
-      $ trace_arg $ metrics_arg)
+      const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ jobs_arg
+      $ shards_arg $ fluent_arg $ trace_arg $ metrics_arg)
 
 (* --- dataset --- *)
 

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Minimal CI: build, tier-1 tests, a few-second benchmark-harness smoke run
-# (see bench/dune; it also writes a telemetry metrics snapshot next to
-# the timings, uploaded as a workflow artifact), and an overhead gate:
+# (see bench/dune; it recognises the fleet workload on two worker
+# domains — exercising the sharded Runtime, its pool and the per-domain
+# telemetry merge — and writes the merged metrics snapshot next to the
+# timings, uploaded as a workflow artifact), and an overhead gate:
 # the same smoke subset re-run with telemetry disabled must stay within
 # 2% of the committed baseline, so instrumentation can never silently
 # tax the disabled path. The gate uses min-of-N estimates (--repeat;
@@ -16,5 +18,8 @@ set -eu
 dune build
 dune runtest
 dune build @bench-smoke
-dune exec bench/main.exe -- --smoke --repeat 8 --json /tmp/bench-smoke-plain.json \
+# The multicore smoke row embeds the jobs value in its name, so the
+# drift gate only ever compares it against a baseline recorded with the
+# same fan-out; the sequential rows are checked as before.
+dune exec bench/main.exe -- --smoke --jobs 2 --repeat 8 --json /tmp/bench-smoke-plain.json \
   --check BENCH_adg.json

@@ -16,7 +16,11 @@ let () =
     Fleet.default_config.buses;
   let ed = Domain.event_description domain in
   assert (Rtec.Check.usable ~vocabulary:(Domain.check_vocabulary domain) ed);
-  (match Rtec.Window.run ~window:3600 ~step:1800 ~event_description:ed ~knowledge ~stream () with
+  (match
+     Runtime.run
+       ~config:(Runtime.config ~window:3600 ~step:1800 ~jobs:2 ())
+       ~event_description:ed ~knowledge ~stream ()
+   with
   | Error e -> prerr_endline ("recognition failed: " ^ e)
   | Ok (result, _) ->
     Format.printf "@.Composite fleet activities detected:@.";

@@ -22,13 +22,14 @@ let () =
   assert (Rtec.Check.usable ~vocabulary:Maritime.Vocabulary.check_vocabulary ed);
 
   match
-    Rtec.Window.run ~window:3600 ~step:1800 ~event_description:ed
-      ~knowledge:dataset.knowledge ~stream:dataset.stream ()
+    Runtime.run
+      ~config:(Runtime.config ~window:3600 ~step:1800 ~jobs:2 ())
+      ~event_description:ed ~knowledge:dataset.knowledge ~stream:dataset.stream ()
   with
   | Error e -> prerr_endline ("recognition failed: " ^ e)
   | Ok (result, stats) ->
-    Format.printf "windowed run: %d queries, %d window-events processed@.@." stats.queries
-      stats.events_processed;
+    Format.printf "windowed run: %d queries, %d window-events, %d shard(s) on %d domain(s)@.@."
+      stats.queries stats.events_processed stats.shards stats.jobs;
     Format.printf "Composite maritime activities detected:@.";
     List.iter
       (fun (activity : Evaluation.Detection.activity) ->

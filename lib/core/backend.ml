@@ -4,6 +4,10 @@ type t = {
   complete : history:(string * string) list -> prompt:string -> string;
 }
 
+let make ~model ~scheme ~complete = { model; scheme; complete }
+let model b = b.model
+let scheme b = b.scheme
+let complete b = b.complete
 let label b = b.model ^ Prompt.scheme_symbol b.scheme
 
 let find_gold_by_description domain description =

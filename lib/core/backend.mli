@@ -5,14 +5,34 @@
     reproduction they are deterministic simulators that perturb a latent
     correct formalisation with a per-model error profile (see DESIGN.md,
     substitutions). The interface is the seam where a real HTTP backend
-    would plug in. *)
+    would plug in.
 
-type t = {
-  model : string;
-  scheme : Prompt.scheme;
-  complete : history:(string * string) list -> prompt:string -> string;
-      (** [history] holds previous (prompt, reply) exchanges. *)
-}
+    The type is abstract: construct backends with {!make} (or
+    {!simulated}) and query them with the accessors. This keeps the seam
+    stable — middleware such as {!Profiles.zero_shot_backend} wraps a
+    backend by building a new one around its {!complete} function, and a
+    future HTTP implementation changes no caller. *)
+
+type t
+
+val make :
+  model:string ->
+  scheme:Prompt.scheme ->
+  complete:(history:(string * string) list -> prompt:string -> string) ->
+  t
+(** [make ~model ~scheme ~complete] is a backend that answers prompts
+    with [complete], where [history] holds the previous (prompt, reply)
+    exchanges of the session. *)
+
+val model : t -> string
+(** The model name, e.g. ["o1"]. *)
+
+val scheme : t -> Prompt.scheme
+(** The prompting scheme the backend expects. *)
+
+val complete : t -> history:(string * string) list -> prompt:string -> string
+(** [complete b ~history ~prompt] answers [prompt] given the session
+    [history] of previous (prompt, reply) exchanges. *)
 
 val label : t -> string
 (** E.g. ["o1" ^ square] — model plus prompting-scheme symbol. *)

@@ -233,6 +233,6 @@ let zero_shot_backend ?(domain = Maritime.Domain_def.domain) profile =
           { (handicap_profile profile) with scheme = profile.scheme }
         in
         let inner = backend ~domain handicapped in
-        inner.Backend.complete ~history ~prompt
+        Backend.complete inner ~history ~prompt
   in
-  { Backend.model = profile.model; scheme = profile.scheme; complete }
+  Backend.make ~model:profile.model ~scheme:profile.scheme ~complete

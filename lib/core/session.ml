@@ -32,11 +32,11 @@ let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t)
   let ask prompt =
     let reply =
       if not (Telemetry.Metrics.is_enabled () || Telemetry.Trace.is_enabled ()) then
-        backend.complete ~history:(List.rev !history) ~prompt
+        Backend.complete backend ~history:(List.rev !history) ~prompt
       else begin
         let sp = Telemetry.Trace.start "llm.call" in
         let t0 = Telemetry.Clock.now_ns () in
-        let reply = backend.complete ~history:(List.rev !history) ~prompt in
+        let reply = Backend.complete backend ~history:(List.rev !history) ~prompt in
         let elapsed = Int64.sub (Telemetry.Clock.now_ns ()) t0 in
         Telemetry.Metrics.incr m_calls;
         Telemetry.Metrics.incr m_prompt_tokens ~by:(approx_tokens prompt);
@@ -45,7 +45,7 @@ let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t)
         Telemetry.Trace.finish sp
           ~args:
             [
-              ("model", Telemetry.Trace.Str backend.model);
+              ("model", Telemetry.Trace.Str (Backend.model backend));
               ("prompt_tokens", Telemetry.Trace.Int (approx_tokens prompt));
               ("completion_tokens", Telemetry.Trace.Int (approx_tokens reply));
             ];
@@ -55,7 +55,7 @@ let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t)
     history := (prompt, reply) :: !history;
     reply
   in
-  List.iter (fun p -> ignore (ask p)) (Prompt.preamble ~domain backend.scheme);
+  List.iter (fun p -> ignore (ask p)) (Prompt.preamble ~domain (Backend.scheme backend));
   let definitions =
     List.map
       (fun activity ->
@@ -71,8 +71,8 @@ let run ?(domain = Maritime.Domain_def.domain) ?activities (backend : Backend.t)
   in
   {
     backend_label = Backend.label backend;
-    model = backend.model;
-    scheme = backend.scheme;
+    model = Backend.model backend;
+    scheme = Backend.scheme backend;
     transcript = List.rev !history;
     definitions;
   }

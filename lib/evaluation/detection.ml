@@ -15,11 +15,12 @@ let reported =
       { name = e.name; code = Option.value ~default:e.name e.code; indicator })
     Maritime.Gold.reported
 
-let detect ?(window = 3600) ?(step = 1800) ~event_description ~dataset () =
+let detect ?(window = 3600) ?(step = 1800) ?(jobs = 1) ~event_description ~dataset () =
   match
-    Rtec.Window.run ~window ~step ~event_description
-      ~knowledge:dataset.Maritime.Dataset.knowledge ~stream:dataset.Maritime.Dataset.stream
-      ()
+    Runtime.run
+      ~config:(Runtime.config ~window ~step ~jobs ())
+      ~event_description ~knowledge:dataset.Maritime.Dataset.knowledge
+      ~stream:dataset.Maritime.Dataset.stream ()
   with
   | Ok (result, _stats) -> Ok result
   | Error e -> Error e

@@ -10,11 +10,13 @@ val reported : activity list
 val detect :
   ?window:int ->
   ?step:int ->
+  ?jobs:int ->
   event_description:Rtec.Ast.t ->
   dataset:Maritime.Dataset.t ->
   unit ->
   (Rtec.Engine.result, string) result
-(** Windowed recognition (defaults: one-hour window, half-hour step). *)
+(** Windowed recognition via {!Runtime.run} (defaults: one-hour window,
+    half-hour step, one worker domain). *)
 
 val instances :
   Rtec.Engine.result -> activity -> (Rtec.Engine.fvp * Rtec.Interval.t) list

@@ -1,4 +1,8 @@
 type fvp = Term.t * Term.t
+
+let compare_fvp (f1, v1) (f2, v2) =
+  let c = Term.compare f1 f2 in
+  if c <> 0 then c else Term.compare v1 v2
 type result = (fvp * Interval.t) list
 
 (* Telemetry probes: single-branch no-ops until [Telemetry.Metrics.enable]

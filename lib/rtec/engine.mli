@@ -12,6 +12,10 @@
 type fvp = Term.t * Term.t
 (** A ground fluent-value pair. *)
 
+val compare_fvp : fvp -> fvp -> int
+(** Lexicographic term order on (fluent, value); the canonical order for
+    accumulating and merging recognition results deterministically. *)
+
 type result = (fvp * Interval.t) list
 
 val run :

@@ -40,3 +40,30 @@ val indicators : t -> (string * int) list
 val append : t -> t -> t
 (** Concatenates two streams by merging their already-sorted event lists;
     duplicate input-fluent keys are unioned. *)
+
+(** {1 Entity sharding}
+
+    Recognition is entity-decomposable: per-entity activities are
+    independent up to fluents that relate several entities, so a stream
+    can be split along the connected components of its entity graph and
+    the shards recognised in parallel (see [Runtime]). *)
+
+val entities : t -> Term.t list
+(** The stream's entity keys, in first-appearance order. An argument is
+    an entity key when it occurs as the {e first} argument of some event
+    or input fluent of the stream — the RTEC convention leads with the
+    entity ([velocity(Vessel, ...)], [proximity(Vessel1, Vessel2)]),
+    while attribute arguments (areas, numeric readings) never lead.
+    Numeric first arguments are never keys. *)
+
+val partition : ?shards:int -> t -> t list
+(** [partition ~shards s] splits [s] into at most [shards] streams
+    (default: one per component) along the entity-connected components
+    of its events and input fluents: items are unioned over all the
+    entity keys occurring anywhere in them, so a pairwise fluent such as
+    [proximity(V1, V2)] keeps both vessels in one shard and a component
+    is never split. Components are grouped into shards greedily by event
+    count (deterministically) to balance load. The shards are disjoint
+    and cover the stream: every event and input fluent appears in
+    exactly one shard. When some event or input fluent has no entity key
+    the stream is unsplittable and [[s]] is returned. *)

@@ -9,9 +9,7 @@ let h_carry = Telemetry.Metrics.histogram "window.carry_size"
 module FvpMap = Map.Make (struct
   type t = Engine.fvp
 
-  let compare (f1, v1) (f2, v2) =
-    let c = Term.compare f1 f2 in
-    if c <> 0 then c else Term.compare v1 v2
+  let compare = Engine.compare_fvp
 end)
 
 let query_times ~lo ~hi ~window ~step =
@@ -29,8 +27,12 @@ let query_times ~lo ~hi ~window ~step =
   in
   dedupe (gen first [])
 
-let run ?window ?step ~event_description ~knowledge ~stream () =
-  let lo, hi = Stream.extent stream in
+let run ?window ?step ?extent ~event_description ~knowledge ~stream () =
+  (* [extent] overrides the query-time grid: a shard of a partitioned
+     stream must evaluate the same query times as every other shard (and
+     as the unsharded run), so the sharding runtime passes the full
+     stream's extent here. *)
+  let lo, hi = Option.value ~default:(Stream.extent stream) extent in
   (* Without an explicit window, a single query covers the whole extent. *)
   let window = Option.value ~default:(hi - lo + 1) window in
   let step = Option.value ~default:window step in

@@ -24,6 +24,7 @@ val query_times : lo:int -> hi:int -> window:int -> step:int -> int list
 val run :
   ?window:int ->
   ?step:int ->
+  ?extent:int * int ->
   event_description:Ast.t ->
   knowledge:Knowledge.t ->
   stream:Stream.t ->
@@ -33,4 +34,12 @@ val run :
     query over the full extent is performed. [step] defaults to [window].
     Intervals still open at a query time are truncated just past that
     query's horizon, so that the next overlapping window extends them
-    seamlessly. *)
+    seamlessly. [extent] overrides the [(lo, hi)] range the query times
+    are generated from (default: the stream's own extent) — the sharded
+    runtime passes the unsharded stream's extent so every shard
+    evaluates an identical query grid.
+
+    Application code should prefer [Runtime.run], which adds
+    entity-sharded multicore evaluation behind one config record; this
+    low-level entry point remains for the runtime itself and for
+    tests. *)

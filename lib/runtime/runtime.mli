@@ -1,0 +1,69 @@
+(** Multicore sharded recognition runtime.
+
+    [Runtime.run] is the single entry point for stream recognition: it
+    consolidates the windowing knobs behind one {!config} record and,
+    when [jobs > 1], shards the stream along the entity-connected
+    components of its events and input fluents ({!Rtec.Stream.partition})
+    and recognises the shards in parallel on OCaml domains, merging the
+    per-shard results deterministically. Per-vessel (per-entity)
+    recognition is independent up to shared relational fluents, which the
+    partition never splits — so the sharded result is bit-identical to a
+    sequential run, as enforced by the differential test suite.
+
+    Worker domains run with per-domain telemetry accumulators
+    ({!Telemetry.Metrics.with_local}, {!Telemetry.Trace.with_local}):
+    metrics are merged exactly into the process registry when each worker
+    joins, and spans are tagged with the worker id as their track. *)
+
+type config = {
+  window : int option;
+      (** sliding-window size in time-points; [None] (the default) runs
+          a single query over the whole stream extent *)
+  step : int option;
+      (** query step; [None] (the default) means one window per step,
+          i.e. tumbling windows *)
+  jobs : int;
+      (** worker-domain fan-out; the default [1] evaluates sequentially
+          in the calling domain, exactly like [Window.run] *)
+  shards : int option;
+      (** upper bound on the number of stream shards; [None] (the
+          default) uses [jobs] shards, so each worker gets one balanced
+          shard. More shards than jobs gives finer load balancing at the
+          cost of more per-query engine work. *)
+}
+
+val default : config
+(** [{ window = None; step = None; jobs = 1; shards = None }] *)
+
+val config : ?window:int -> ?step:int -> ?jobs:int -> ?shards:int -> unit -> config
+(** [config ()] is {!default}; each argument overrides one field. *)
+
+type stats = {
+  queries : int;  (** query times processed, summed over shards *)
+  events_processed : int;  (** window-events evaluated, summed over shards *)
+  shards : int;  (** shards actually run *)
+  jobs : int;  (** worker domains actually used *)
+}
+
+val run :
+  config:config ->
+  event_description:Rtec.Ast.t ->
+  knowledge:Rtec.Knowledge.t ->
+  stream:Rtec.Stream.t ->
+  unit ->
+  (Rtec.Engine.result * stats, string) Result.t
+(** Recognises the event description over the stream.
+
+    With [jobs = 1] and [shards = None] this is exactly
+    [Window.run ?window ?step]: same evaluation, same result order, same
+    single-domain execution. With [jobs > 1] the stream is partitioned,
+    every shard is evaluated over the {e same} query-time grid (the full
+    stream's extent) with bounded fan-out, and the per-shard interval
+    maps are unioned in the canonical fluent-value order — so the output
+    is bit-identical to the sequential run. Streams that cannot be
+    attributed to entities (an event with no entity key, or an event
+    description with ground [initially] facts, whose seeds belong to no
+    shard) fall back to a single shard; [stats.shards] reports what
+    actually ran. Fails like [Window.run] on invalid window/step, on
+    [jobs < 1], and on any shard's engine error (the lowest-numbered
+    shard's error wins, deterministically). *)

@@ -26,16 +26,24 @@ type item = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, item) Hashtbl.t = Hashtbl.create 64
 
+(* Guards the registry and the merge of per-domain accumulators: handles
+   are normally created at module initialisation in the main domain, but
+   worker domains may register lazily and several workers can merge
+   their local accumulators concurrently. *)
+let registry_mutex = Mutex.create ()
+
 let register name make describe =
-  match Hashtbl.find_opt registry name with
-  | Some item -> (
-    match describe item with
-    | Some x -> x
-    | None -> invalid_arg (Printf.sprintf "Metrics: %s already registered with another type" name))
-  | None ->
-    let x, item = make () in
-    Hashtbl.replace registry name item;
-    x
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some item -> (
+        match describe item with
+        | Some x -> x
+        | None ->
+          invalid_arg (Printf.sprintf "Metrics: %s already registered with another type" name))
+      | None ->
+        let x, item = make () in
+        Hashtbl.replace registry name item;
+        x)
 
 let counter name =
   register name
@@ -67,13 +75,51 @@ let histogram name =
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
-let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+(* --- per-domain accumulators ---
+
+   The registry cells are plain mutable records: safe when only the main
+   domain records, racy when worker domains run instrumented code
+   concurrently. [with_local] gives the calling domain a private
+   accumulator (keyed through [Domain.DLS]); every record made inside the
+   scope lands there, and the accumulator is folded into the registry
+   under [registry_mutex] when the scope exits — so worker metrics are
+   exact, merged at join, and never contend on the hot path. *)
+
+type local = {
+  l_counters : (string, int ref) Hashtbl.t;
+  l_gauges : (string, float) Hashtbl.t;
+  l_histograms : (string, histogram) Hashtbl.t;
+}
+
+let local_key : local option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let fresh_histogram name =
+  {
+    h_name = name;
+    h_count = 0;
+    h_sum = 0.;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    h_buckets = Array.make buckets 0;
+  }
+
+let incr ?(by = 1) c =
+  if !on then
+    match Domain.DLS.get local_key with
+    | None -> c.c_value <- c.c_value + by
+    | Some l -> (
+      match Hashtbl.find_opt l.l_counters c.c_name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace l.l_counters c.c_name (ref by))
+
 let value c = c.c_value
 let set g v =
-  if !on then begin
-    g.g_value <- v;
-    g.g_set <- true
-  end
+  if !on then
+    match Domain.DLS.get local_key with
+    | None ->
+      g.g_value <- v;
+      g.g_set <- true
+    | Some l -> Hashtbl.replace l.l_gauges g.g_name v
 
 let bucket_of v =
   if v <= 1. then 0
@@ -83,15 +129,75 @@ let bucket_of v =
 
 let bucket_upper b = Float.pow 2. (float_of_int b /. 4.)
 
+let observe_cell h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
 let observe h v =
-  if !on then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1
-  end
+  if !on then
+    match Domain.DLS.get local_key with
+    | None -> observe_cell h v
+    | Some l ->
+      let cell =
+        match Hashtbl.find_opt l.l_histograms h.h_name with
+        | Some cell -> cell
+        | None ->
+          let cell = fresh_histogram h.h_name in
+          Hashtbl.replace l.l_histograms h.h_name cell;
+          cell
+      in
+      observe_cell cell v
+
+(* Fold a scope's accumulator into the registry. Counters and histograms
+   add; a gauge keeps the last merged write. Only names with a registered
+   handle can appear (the accumulator is keyed by handle names). *)
+let merge_local l =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt registry name with
+          | Some (Counter c) -> c.c_value <- c.c_value + !r
+          | _ -> ())
+        l.l_counters;
+      Hashtbl.iter
+        (fun name v ->
+          match Hashtbl.find_opt registry name with
+          | Some (Gauge g) ->
+            g.g_value <- v;
+            g.g_set <- true
+          | _ -> ())
+        l.l_gauges;
+      Hashtbl.iter
+        (fun name cell ->
+          match Hashtbl.find_opt registry name with
+          | Some (Histogram h) ->
+            h.h_count <- h.h_count + cell.h_count;
+            h.h_sum <- h.h_sum +. cell.h_sum;
+            if cell.h_min < h.h_min then h.h_min <- cell.h_min;
+            if cell.h_max > h.h_max then h.h_max <- cell.h_max;
+            Array.iteri (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n) cell.h_buckets
+          | _ -> ())
+        l.l_histograms)
+
+let with_local f =
+  let l =
+    {
+      l_counters = Hashtbl.create 16;
+      l_gauges = Hashtbl.create 8;
+      l_histograms = Hashtbl.create 16;
+    }
+  in
+  let prev = Domain.DLS.get local_key in
+  Domain.DLS.set local_key (Some l);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set local_key prev;
+      merge_local l)
+    f
 
 let quantile h q =
   if h.h_count = 0 then 0.

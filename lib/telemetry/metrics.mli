@@ -36,6 +36,21 @@ val observe : histogram -> float -> unit
     relative width), so percentile estimates are exact to within one
     bucket; count/sum/min/max are exact. *)
 
+(** {1 Domains}
+
+    The registry cells are unsynchronised: concurrent recording from
+    several domains would race (lost counts, torn histogram state).
+    Worker domains must wrap their instrumented work in {!with_local},
+    which redirects every record made by the calling domain into a
+    private accumulator and folds it into the registry — exactly, under
+    a mutex — when the scope exits. *)
+
+val with_local : (unit -> 'a) -> 'a
+(** [with_local f] runs [f] with a per-domain accumulator, merging it
+    into the registry when [f] returns (or raises). Nesting is allowed;
+    the inner scope merges into the registry, not the outer scope.
+    Inside the scope, {!value} still reads the shared registry cell. *)
+
 (** {1 Snapshots} *)
 
 type summary = {

@@ -44,13 +44,22 @@ val with_span : ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 val instant : ?args:(string * value) list -> string -> unit
 (** A zero-duration marker event. *)
 
+val with_local : tid:int -> (unit -> 'a) -> 'a
+(** [with_local ~tid f] records the calling domain's spans into a
+    private buffer while [f] runs, then appends them to the shared
+    recorder (under a mutex) when [f] returns or raises. Worker domains
+    must use this: the shared recorder is unsynchronised. [tid] tags the
+    merged spans (their [span_tid] / Chrome track); the main domain
+    records with tid 0. Spans still open at merge are closed then. *)
+
 (** {1 Export} *)
 
 type info = {
   span_id : int;
   span_parent : int;  (** 0 for roots *)
   span_name : string;
-  t_ns : int64;  (** start, relative to the first recorded span *)
+  span_tid : int;  (** 0 for the main domain; the [with_local] tid otherwise *)
+  t_ns : int64;  (** start, relative to the earliest recorded span *)
   dur_ns : int64;
   span_args : (string * value) list;
 }

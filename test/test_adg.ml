@@ -165,6 +165,28 @@ let test_session_runs () =
                 (contains ~needle:"trawlingArea" d.raw)
   | None -> Alcotest.fail "no trawlSpeed definition"
 
+(* The abstract backend seam: middleware wraps any backend by building a
+   new one around its [complete] function, with full access to the
+   wrapped backend's identity through the accessors. *)
+let test_backend_middleware_wrap () =
+  let p = Adg.Profiles.find ~model:"o1" ~scheme:Adg.Prompt.Few_shot in
+  let inner = Adg.Profiles.backend p in
+  let calls = ref 0 in
+  let logged =
+    Adg.Backend.make ~model:(Adg.Backend.model inner) ~scheme:(Adg.Backend.scheme inner)
+      ~complete:(fun ~history ~prompt ->
+        incr calls;
+        Adg.Backend.complete inner ~history ~prompt)
+  in
+  Alcotest.(check string) "label passes through" (Adg.Backend.label inner)
+    (Adg.Backend.label logged);
+  let session = Adg.Session.run ~activities:[ "trawling" ] logged in
+  Alcotest.(check bool) "middleware saw every call" true (!calls > 0);
+  Alcotest.(check int) "transcript length matches call count" !calls
+    (List.length session.transcript);
+  Alcotest.(check int) "wrapped session parses" 0
+    (List.length (Adg.Session.parse_failures session))
+
 let test_reported_scheme_wins () =
   List.iter
     (fun model ->
@@ -270,6 +292,8 @@ let suite =
     Alcotest.test_case "profiles are deterministic" `Quick test_profiles_deterministic;
     Alcotest.test_case "pinned mutations are applied" `Quick test_profiles_pinned_present;
     Alcotest.test_case "a session generates every activity" `Quick test_session_runs;
+    Alcotest.test_case "backend middleware wraps through the abstract seam" `Quick
+      test_backend_middleware_wrap;
     Alcotest.test_case "the reported scheme wins" `Quick test_reported_scheme_wins;
     Alcotest.test_case "edit distance" `Quick test_edit_distance;
     Alcotest.test_case "correction fixes naming errors" `Quick test_correction_fixes_synonyms;
