@@ -83,6 +83,11 @@ let recognise_multicore ~jobs () =
 
 let o1_profile = Adg.Profiles.find ~model:"o1" ~scheme:Adg.Prompt.Few_shot
 
+(* A full generated session for the similarity-sweep rows. Lazy: the
+   sweep group forces it once; the smoke suite pays for it only when the
+   group is selected. *)
+let o1_session = lazy (Adg.Session.run (Adg.Profiles.backend o1_profile))
+
 let tests =
   [
     Test.make_grouped ~name:"interval"
@@ -123,6 +128,29 @@ let tests =
         Test.make ~name:"event-description-distance"
           (Staged.stage (fun () ->
                ignore (Similarity.Distance.event_description mutated_rules gold_rules)));
+        (* Same workload with the rule-pair memo emptied first: the
+           honest uncached kernel number. The warm row above amortises
+           the memo across iterations, which is exactly how the fig2a
+           sweep uses it. *)
+        Test.make ~name:"event-description-distance-cold"
+          (Staged.stage (fun () ->
+               Similarity.Distance.clear_cache ();
+               ignore (Similarity.Distance.event_description mutated_rules gold_rules)));
+      ];
+    (* The fig2a inner loop at table granularity: one generated session
+       graded against every gold entry, sequentially and fanned over two
+       worker domains. Values are bit-identical across rows; the delta is
+       pure domain fan-out cost or gain of the host. *)
+    Test.make_grouped ~name:"similarity-sweep"
+      [
+        Test.make ~name:"table-jobs-1"
+          (Staged.stage (fun () ->
+               ignore
+                 (Evaluation.Experiments.similarity_table ~jobs:1 (Lazy.force o1_session))));
+        Test.make ~name:"table-jobs-2"
+          (Staged.stage (fun () ->
+               ignore
+                 (Evaluation.Experiments.similarity_table ~jobs:2 (Lazy.force o1_session))));
       ];
     Test.make_grouped ~name:"generation-fig2a-kernel"
       [
@@ -204,12 +232,19 @@ let smoke_tests ~jobs =
           "assignment";
           "fleet-domain";
           "similarity-fig2a-2b-kernel";
+          "similarity-sweep";
           "generation-fig2a-kernel";
         ])
     tests
   @ [ multicore_smoke ~jobs ]
 
 let benchmark ~smoke ~jobs =
+  (* Normalise heap state before measuring: the full sweep prints every
+     figure first and interleaves heavy recognition workloads, and the
+     expanded major heap they leave behind taxes the sub-microsecond
+     kernels (different GC pacing, worse locality) — enough to skew the
+     smoke-vs-full comparison the CI drift gate depends on. *)
+  Gc.compact ();
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   (* One quota for smoke and full sweeps: the OLS estimate of a short
@@ -286,9 +321,81 @@ let results_json rows =
       ("metrics", metrics);
     ]
 
-let write_json file rows =
-  Telemetry.Json.write_file ~indent:true file (results_json rows);
-  Format.printf "wrote %d benchmark estimates to %s@." (List.length rows) file
+(* With [merge], rows and metrics the current invocation did not measure
+   are preserved from the existing file, and rows measured by *both* keep
+   the minimum: the committed baseline is refreshed in passes — the full
+   sweep records the trajectory rows and the counters, then `--smoke
+   --merge` passes re-measure the rows the CI drift gate compares under
+   the *same conditions CI runs them* (sub-microsecond kernels read
+   15-20% slower when measured in-process with the heavy fig2c
+   workloads, which would poison the gate's drift normalisation).
+   Minimum across passes because each process carries its own few-percent
+   placement noise on the microsecond kernels that min-of---repeat
+   *within* a process cannot cancel — repeated merge passes converge the
+   baseline on the true cost, exactly what a small-tolerance gate needs.
+   After a code change that legitimately slows a kernel, start over from
+   the plain-`--json` full sweep (it rewrites the file). *)
+let write_json ?(merge = false) file rows =
+  let doc = results_json rows in
+  let doc =
+    if not (merge && Sys.file_exists file) then doc
+    else begin
+      let read_file path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Telemetry.Json.of_string (read_file file) with
+      | Error e ->
+        Printf.eprintf "cannot merge into %s: %s\n" file e;
+        exit 2
+      | Ok old ->
+        let old_benchmarks =
+          match Telemetry.Json.(Option.bind (member "benchmarks" old) obj) with
+          | Some fields -> fields
+          | None -> []
+        in
+        let new_benchmarks =
+          match Telemetry.Json.(Option.bind (member "benchmarks" doc) obj) with
+          | Some fields -> fields
+          | None -> []
+        in
+        let kept =
+          List.filter
+            (fun (name, _) -> not (List.mem_assoc name new_benchmarks))
+            old_benchmarks
+        in
+        let new_benchmarks =
+          List.map
+            (fun (name, v) ->
+              match (Telemetry.Json.num v, Option.bind (List.assoc_opt name old_benchmarks) Telemetry.Json.num) with
+              | Some est, Some old_est when old_est > 0. && old_est < est ->
+                (name, Telemetry.Json.Num old_est)
+              | _ -> (name, v))
+            new_benchmarks
+        in
+        let metrics =
+          if Telemetry.Metrics.is_enabled () then
+            Telemetry.Metrics.snapshot_to_json (Telemetry.Metrics.snapshot ())
+          else
+            Option.value ~default:Telemetry.Json.Null (Telemetry.Json.member "metrics" old)
+        in
+        Telemetry.Json.Obj
+          [
+            ("schema", Telemetry.Json.Str "adg-bench/2");
+            ( "benchmarks",
+              Telemetry.Json.Obj
+                (List.sort
+                   (fun (a, _) (b, _) -> String.compare a b)
+                   (new_benchmarks @ kept)) );
+            ("metrics", metrics);
+          ]
+    end
+  in
+  Telemetry.Json.write_file ~indent:true file doc;
+  Format.printf "wrote %d benchmark estimates to %s%s@." (List.length rows) file
+    (if merge then " (merged)" else "")
 
 (* Baseline comparison for the CI overhead gate: with telemetry disabled,
    the instrumented binary must stay within [tolerance] of the committed
@@ -387,11 +494,11 @@ let check_against_baseline ~baseline ~tolerance rows =
   else Format.printf "overhead check: within tolerance@."
 
 let usage =
-  "usage: main.exe [--smoke] [--jobs N] [--repeat N] [--json FILE] [--trace FILE]\n\
-  \       [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n"
+  "usage: main.exe [--smoke] [--jobs N] [--repeat N] [--json FILE] [--merge]\n\
+  \       [--trace FILE] [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n"
 
 let () =
-  let json_file = ref None and smoke = ref false in
+  let json_file = ref None and smoke = ref false and merge = ref false in
   let trace_file = ref None and metrics_file = ref None in
   let check_file = ref None and tolerance = ref 0.02 and repeat = ref 1 in
   let jobs = ref 2 in
@@ -436,17 +543,21 @@ let () =
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
+    | "--merge" :: rest ->
+      merge := true;
+      parse rest
     | arg :: _ ->
       Printf.eprintf "%sunknown argument: %s\n" usage arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* Fail on unwritable output targets now, not after the full sweep. *)
+  (* Fail on unwritable output targets now, not after the full sweep.
+     No Open_trunc: `--merge` needs the existing --json content intact. *)
   List.iter
     (fun (flag, file) ->
       Option.iter
         (fun file ->
-          match open_out file with
+          match open_out_gen [ Open_wronly; Open_creat ] 0o644 file with
           | oc -> close_out oc
           | exception Sys_error msg ->
             Printf.eprintf "cannot write %s file: %s\n" flag msg;
@@ -465,7 +576,7 @@ let () =
   if Option.is_some !metrics_file then Telemetry.Metrics.enable ();
   if not !smoke then print_figures ();
   let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat ~jobs:!jobs in
-  Option.iter (fun file -> write_json file rows) !json_file;
+  Option.iter (fun file -> write_json ~merge:!merge file rows) !json_file;
   Option.iter
     (fun file ->
       Telemetry.Metrics.write file;

@@ -10,8 +10,12 @@ val solve : float array array -> int array * float
     non-square matrix. The empty matrix yields [([||], 0.)]. *)
 
 val solve_rectangular : float array array -> (int * int) list * float
-(** Convenience wrapper for an [m x k] matrix with [m >= k]: pads the
-    missing columns with zero-cost "unmatched" slots, exactly as the cost
-    matrix of Definition 4.3 does, and returns the optimal pairs
-    [(row, column)] restricted to real columns, plus the total cost over
-    all [m] rows (the padded slots contribute 0). *)
+(** Native rectangular solver for an [m x k] matrix with [m >= k]:
+    assigns every column to a distinct row via shortest augmenting paths
+    in O(m * k^2) — no padding to a square O(m^3) problem — and returns
+    the optimal pairs [(row, column)] sorted by row, plus the minimum
+    total cost over the k columns. Unmatched rows are the caller's
+    business (the cost matrix of Definition 4.3 penalises each by 1).
+    The result is the same as padding the matrix with zero-cost
+    "unmatched" columns and calling {!solve}, which the differential
+    tests use as the oracle. *)

@@ -9,29 +9,54 @@ let activity_codes = [ "h"; "aM"; "tr"; "tu"; "p"; "l"; "s"; "d" ]
 
 let gold_rules name = (Maritime.Gold.definition name).rules
 
+(* The gold side of every similarity comparison is fixed: preprocess
+   each activity's rules (variable-instance maps, body arrays, content
+   hashes) exactly once per process instead of once per generated
+   definition they are graded against. *)
+let gold_prepared =
+  lazy
+    (List.map
+       (fun (e : Maritime.Gold.entry) ->
+         (e.name, Similarity.Distance.prepare (gold_rules e.name)))
+       Maritime.Gold.entries)
+
+let prepared_gold name = List.assoc name (Lazy.force gold_prepared)
+
+let similarity_against_gold ?strategy rules name =
+  Similarity.Distance.similarity_prepared ?strategy
+    (Similarity.Distance.prepare rules)
+    (prepared_gold name)
+
 let similarity_of_definition (session : Adg.Session.t) name =
   match
     List.find_opt (fun (d : Adg.Session.generated_definition) -> d.activity = name)
       session.definitions
   with
-  | Some { parsed = Ok def; _ } -> Similarity.Distance.similarity def.rules (gold_rules name)
+  | Some { parsed = Ok def; _ } -> similarity_against_gold def.rules name
   | Some { parsed = Error _; _ } | None ->
     (* Unusable output: nothing matches the gold definition. *)
     0.
 
-let similarity_table session =
-  List.map
-    (fun (e : Maritime.Gold.entry) -> (e.name, similarity_of_definition session e.name))
-    Maritime.Gold.entries
+(* The per-activity similarity sweep — the inner loop of the LLM x
+   activity x scheme table behind Figures 2a/2b. Activities are
+   independent, so with [jobs > 1] they fan out over worker domains
+   ([Runtime.map_domains]: per-domain telemetry accumulators, exact merge
+   at join); result order and values are identical to the sequential
+   run. *)
+let similarity_table ?(jobs = 1) session =
+  let entries = Array.of_list Maritime.Gold.entries in
+  let row (e : Maritime.Gold.entry) = (e.name, similarity_of_definition session e.name) in
+  if jobs <= 1 then Array.to_list (Array.map row entries)
+  else Array.to_list (Runtime.map_domains ~jobs (fun _ e -> row e) entries)
 
 let average values =
   if values = [] then 0.
   else List.fold_left (fun acc (_, v) -> acc +. v) 0. values /. float_of_int (List.length values)
 
-let generate ~model ~scheme =
+let generate ?jobs ~model ~scheme () =
   let profile = Adg.Profiles.find ~model ~scheme in
   let session = Adg.Session.run (Adg.Profiles.backend profile) in
-  let per_activity = similarity_table session in
+  let per_activity = similarity_table ?jobs session in
   {
     session;
     label = model ^ Adg.Prompt.scheme_symbol scheme;
@@ -39,10 +64,10 @@ let generate ~model ~scheme =
     average = average per_activity;
   }
 
-let generate_all () =
+let generate_all ?jobs () =
   List.concat_map
     (fun model ->
-      List.map (fun scheme -> generate ~model ~scheme)
+      List.map (fun scheme -> generate ?jobs ~model ~scheme ())
         [ Adg.Prompt.Few_shot; Adg.Prompt.Chain_of_thought ])
     Adg.Profiles.models
 
@@ -72,7 +97,7 @@ let correct_one (g : generation) =
     List.map
       (fun (e : Maritime.Gold.entry) ->
         match Rtec.Ast.definition ed e.name with
-        | Some def -> (e.name, Similarity.Distance.similarity def.rules (gold_rules e.name))
+        | Some def -> (e.name, similarity_against_gold def.rules e.name)
         | None -> (e.name, 0.))
       Maritime.Gold.entries
   in
@@ -136,8 +161,8 @@ let assignment_ablation generations =
             with
             | Some { parsed = Ok def; _ } ->
               ( e.name,
-                Similarity.Distance.similarity ~strategy:Similarity.Distance.Greedy
-                  def.rules (gold_rules e.name) )
+                similarity_against_gold ~strategy:Similarity.Distance.Greedy def.rules
+                  e.name )
             | _ -> (e.name, 0.))
           Maritime.Gold.entries
       in

@@ -9,8 +9,6 @@ type result = (fvp * Interval.t) list
    is called, so they can sit inside the cache lookup path. *)
 let m_cache_hit = Telemetry.Metrics.counter "engine.cache.hit"
 let m_cache_miss = Telemetry.Metrics.counter "engine.cache.miss"
-let m_memo_hit = Telemetry.Metrics.counter "engine.holds_memo.hit"
-let m_memo_invalidation = Telemetry.Metrics.counter "engine.holds_memo.invalidation"
 let m_rule_evals = Telemetry.Metrics.counter "engine.rule_evaluations"
 
 module Cache = struct
@@ -18,8 +16,7 @@ module Cache = struct
      bottom-up cache. Two-level index — indicator to per-FVP hashtable —
      so both [lookup] and [entries] avoid scanning association lists. Each
      indicator also keeps its FVPs in insertion order for deterministic
-     enumeration. [generation] counts mutations, letting memo tables built
-     from an older cache state invalidate themselves. *)
+     enumeration. *)
 
   module H = Hashtbl.Make (struct
     type t = fvp
@@ -29,9 +26,9 @@ module Cache = struct
   end)
 
   type entry = { by_fvp : Interval.t H.t; mutable rev_order : fvp list }
-  type t = { by_indicator : (string * int, entry) Hashtbl.t; mutable generation : int }
+  type t = { by_indicator : (string * int, entry) Hashtbl.t }
 
-  let create () = { by_indicator = Hashtbl.create 64; generation = 0 }
+  let create () = { by_indicator = Hashtbl.create 64 }
 
   let entries_of e = List.rev_map (fun fv -> (fv, H.find e.by_fvp fv)) e.rev_order
 
@@ -50,12 +47,11 @@ module Cache = struct
         Hashtbl.replace t.by_indicator ind e;
         e
     in
-    (match H.find_opt e.by_fvp fv with
-     | None ->
-       H.replace e.by_fvp fv spans;
-       e.rev_order <- fv :: e.rev_order
-     | Some old -> H.replace e.by_fvp fv (Interval.union old spans));
-    t.generation <- t.generation + 1
+    match H.find_opt e.by_fvp fv with
+    | None ->
+      H.replace e.by_fvp fv spans;
+      e.rev_order <- fv :: e.rev_order
+    | Some old -> H.replace e.by_fvp fv (Interval.union old spans)
 
   let lookup t ((fluent, _) as fv) =
     let found =
@@ -79,9 +75,6 @@ type env = {
   universe : (string * int, fvp list ref) Hashtbl.t;
       (* extra SD grounding candidates (FVPs recognised in earlier windows),
          indexed by fluent indicator *)
-  holds_memo : (int * (string * int), int * fvp list) Hashtbl.t;
-      (* (time, indicator) -> (cache generation, FVPs holding at that time):
-         memoised groundings for repeated holdsAt probes at one time-point *)
 }
 
 (* --- arithmetic and comparisons --- *)
@@ -145,25 +138,17 @@ let happens_solutions env subst event time =
         | Some s -> Unify.unify ~subst:s time (Term.Int e.time))
       candidates
 
-(* FVPs of the given indicator holding at time-point [t], memoised per
-   (time, indicator) on the current cache generation: rule bodies probe the
-   same time-point repeatedly (one probe per candidate event grounding), so
-   the interval-membership scan is shared between them. *)
+(* FVPs of the given indicator holding at time-point [t]. PR 1 memoised
+   this per (time, indicator) on a cache generation counter, but the memo
+   never hit on any bench workload (`engine.holds_memo.hit` = 0 across the
+   full sweep): ground probes — the overwhelming majority — take the
+   direct [Cache.lookup] path below, and the non-ground probes that do
+   reach here carry distinct time-points (one per triggering event), so
+   keys never repeated. PR 4 removed the memo, its counters and the cache
+   generation bookkeeping; what remains is the plain scan it guarded. *)
 let holding_at env ind t =
-  let key = (t, ind) in
-  let generation = env.cache.Cache.generation in
-  match Hashtbl.find_opt env.holds_memo key with
-  | Some (g, fvps) when g = generation ->
-    Telemetry.Metrics.incr m_memo_hit;
-    fvps
-  | found ->
-    if Option.is_some found then Telemetry.Metrics.incr m_memo_invalidation;
-    let fvps =
-      Cache.entries env.cache ind
-      |> List.filter_map (fun (fv, spans) -> if Interval.mem t spans then Some fv else None)
-    in
-    Hashtbl.replace env.holds_memo key (generation, fvps);
-    fvps
+  Cache.entries env.cache ind
+  |> List.filter_map (fun (fv, spans) -> if Interval.mem t spans then Some fv else None)
 
 let holds_at_solutions env subst fv time =
   match Subst.apply subst time with
@@ -525,10 +510,7 @@ let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
         | None -> Hashtbl.replace universe_tbl ind (ref [ fv ])
         | Some r -> r := fv :: !r)
       universe;
-    let env =
-      { stream; knowledge; cache; from; until;
-        universe = universe_tbl; holds_memo = Hashtbl.create 256 }
-    in
+    let env = { stream; knowledge; cache; from; until; universe = universe_tbl } in
     let rec evaluate = function
       | [] -> Ok ()
       | ind :: rest -> (

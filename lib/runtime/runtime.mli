@@ -15,6 +15,27 @@
     metrics are merged exactly into the process registry when each worker
     joins, and spans are tagged with the worker id as their track. *)
 
+module Pool : sig
+  val map :
+    jobs:int ->
+    around:(worker:int -> (unit -> unit) -> unit) ->
+    (worker:int -> int -> 'a -> 'b) ->
+    'a array ->
+    'b array
+  (** [map ~jobs ~around f items] fans [items] out to at most [jobs]
+      domains (the calling domain works too). Tasks are pulled from a
+      shared atomic index; result order matches item order. [around]
+      brackets each whole worker domain, not each task. *)
+end
+
+val map_domains : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** {!Pool.map} with the repo's standard domain-safe telemetry bracket:
+    each worker runs under {!Telemetry.Metrics.with_local} and
+    {!Telemetry.Trace.with_local}, so counters recorded by [f] merge
+    exactly into the process registry at join and spans land on the
+    worker's own track. [f] receives the item index and the item; the
+    result array preserves item order regardless of scheduling. *)
+
 type config = {
   window : int option;
       (** sliding-window size in time-points; [None] (the default) runs

@@ -34,10 +34,32 @@ val rule : ?strategy:strategy -> Rtec.Ast.rule -> Rtec.Ast.rule -> float
 (** Definition 4.12: heads are compared to each other; bodies through a
     minimum-cost mapping; result normalised by [max body size + 1]. *)
 
+type prepared
+(** A preprocessed rule list: per-rule variable-instance maps
+    (Definitions 4.7-4.10), body arrays and content hashes, computed
+    once instead of once per rule pair. Prepare the fixed side of a
+    comparison (e.g. the gold standard of one activity) once and reuse
+    it against every generated event description. *)
+
+val prepare : Rtec.Ast.rule list -> prepared
+
+val event_description_prepared : ?strategy:strategy -> prepared -> prepared -> float
+(** {!event_description} over prepared sides. Rule-pair distances are
+    memoised in a process-global content-hashed cache (hit rate exposed
+    as the [similarity.rule_cache.*] counters); the cache is domain-safe
+    and values are bit-identical to the uncached computation. *)
+
+val similarity_prepared : ?strategy:strategy -> prepared -> prepared -> float
+(** [1 - event_description_prepared]. *)
+
+val clear_cache : unit -> unit
+(** Drop every memoised rule-pair distance (benchmarking, memory). *)
+
 val event_description :
   ?strategy:strategy -> Rtec.Ast.rule list -> Rtec.Ast.rule list -> float
 (** Definition 4.14: distance between two event descriptions (as rule
-    sets), via a minimum-cost mapping of rules. *)
+    sets), via a minimum-cost mapping of rules. Equivalent to preparing
+    both sides and calling {!event_description_prepared}. *)
 
 val similarity : ?strategy:strategy -> Rtec.Ast.rule list -> Rtec.Ast.rule list -> float
 (** [1 - event_description], the quantity reported in Figures 2a/2b. *)

@@ -4,7 +4,33 @@ type path = (string * int) list
 
 module M = Map.Make (String)
 
-type t = path list M.t
+(* Instance sets are interned into dense integer fingerprints so that
+   [equal_instances] — the innermost comparison of every cost-matrix
+   cell of Definitions 4.11/4.12 — is one int equality instead of a
+   structural list-of-lists compare. The table is process-global and
+   mutex-protected: interning runs once per rule variable in [of_rule]
+   (and the gold side of an experiment is prepared once per activity),
+   while fingerprint comparisons run once per matrix cell, so the lock
+   sits on the cold side. Worker domains of the parallel similarity
+   sweep intern concurrently; the mutex keeps fingerprints globally
+   consistent across domains. *)
+let intern_mutex = Mutex.create ()
+let intern_table : (path list, int) Hashtbl.t = Hashtbl.create 512
+
+let intern paths =
+  Mutex.lock intern_mutex;
+  let fp =
+    match Hashtbl.find_opt intern_table paths with
+    | Some fp -> fp
+    | None ->
+      let fp = Hashtbl.length intern_table in
+      Hashtbl.add intern_table paths fp;
+      fp
+  in
+  Mutex.unlock intern_mutex;
+  fp
+
+type t = (path list * int) M.t
 
 let paths_in_term term =
   let rec go prefix t acc =
@@ -27,10 +53,21 @@ let of_rule (r : Ast.rule) =
   in
   let collect acc term = List.fold_left add acc (paths_in_term term) in
   let raw = List.fold_left collect M.empty (r.head :: r.body) in
-  M.map (fun paths -> List.sort_uniq compare paths) raw
+  M.map
+    (fun paths ->
+      let paths = List.sort_uniq compare paths in
+      (paths, intern paths))
+    raw
 
-let instances t v = Option.value ~default:[] (M.find_opt v t)
+let instances t v =
+  match M.find_opt v t with None -> [] | Some (paths, _) -> paths
+
+let fingerprint t v = Option.map snd (M.find_opt v t)
 
 let equal_instances t1 v1 t2 v2 =
-  let i1 = instances t1 v1 and i2 = instances t2 v2 in
-  i1 <> [] && i1 = i2
+  (* A variable absent from its rule has the empty instance set, which
+     equals nothing (not even itself) — same semantics as the structural
+     [i1 <> [] && i1 = i2] this replaces. *)
+  match (M.find_opt v1 t1, M.find_opt v2 t2) with
+  | Some (_, f1), Some (_, f2) -> f1 = f2
+  | _ -> false

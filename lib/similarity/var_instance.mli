@@ -20,6 +20,12 @@ val of_rule : Rtec.Ast.rule -> t
 val instances : t -> string -> path list
 (** Sorted instance list of a variable ([[]] for unknown variables). *)
 
+val fingerprint : t -> string -> int option
+(** Interned identity of a variable's instance set: two variables (in any
+    two rules, built in any domain) have equal instance lists iff their
+    fingerprints are equal. [None] for unknown variables. *)
+
 val equal_instances : t -> string -> t -> string -> bool
 (** Whether two variables (in their respective rules) have equal instance
-    lists, i.e. refer to the same concept (Definition 4.11, cases 2–3). *)
+    lists, i.e. refer to the same concept (Definition 4.11, cases 2–3).
+    One integer comparison of interned fingerprints. *)

@@ -191,7 +191,7 @@ let test_reported_scheme_wins () =
   List.iter
     (fun model ->
       let sim scheme =
-        let g = Evaluation.Experiments.generate ~model ~scheme in
+        let g = Evaluation.Experiments.generate ~model ~scheme () in
         g.average
       in
       let reported = Adg.Profiles.reported_scheme model in

@@ -96,6 +96,75 @@ let prop_permutation =
              end)
            assignment))
 
+(* --- rectangular solver vs. the padded square oracle --- *)
+
+(* The pad-to-square formulation the native rectangular solver replaced:
+   missing columns become zero-cost "unmatched" slots and the square
+   solver — kept as the differential oracle — does the work. *)
+let padded_oracle cost =
+  let m = Array.length cost in
+  if m = 0 then ([], 0.)
+  else begin
+    let k = Array.length cost.(0) in
+    let padded =
+      Array.map (fun row -> Array.init m (fun j -> if j < k then row.(j) else 0.)) cost
+    in
+    let assignment, total = Kuhn_munkres.solve padded in
+    let pairs = ref [] in
+    for i = m - 1 downto 0 do
+      if assignment.(i) < k then pairs := (i, assignment.(i)) :: !pairs
+    done;
+    (!pairs, total)
+  end
+
+let rect_matrix_gen =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun m ->
+    int_range 0 m >>= fun k ->
+    array_size (return m) (array_size (return k) (float_bound_inclusive 10.)))
+
+let arbitrary_rect_matrix =
+  QCheck.make
+    ~print:(fun m ->
+      String.concat "\n"
+        (Array.to_list
+           (Array.map
+              (fun row ->
+                String.concat " " (Array.to_list (Array.map string_of_float row)))
+              m)))
+    rect_matrix_gen
+
+let prop_rectangular_matches_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"rectangular total matches the padded square oracle"
+       ~count:500 arbitrary_rect_matrix (fun cost ->
+         let _, total = Kuhn_munkres.solve_rectangular cost in
+         let _, oracle = padded_oracle cost in
+         Float.abs (total -. oracle) < 1e-9))
+
+let prop_rectangular_matching_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"rectangular pairs are a full column matching"
+       ~count:500 arbitrary_rect_matrix (fun cost ->
+         let m = Array.length cost in
+         let k = if m = 0 then 0 else Array.length cost.(0) in
+         let pairs, total = Kuhn_munkres.solve_rectangular cost in
+         let rows_seen = Array.make (max m 1) false in
+         let cols_seen = Array.make (max k 1) false in
+         List.length pairs = k
+         && List.for_all
+              (fun (i, j) ->
+                i >= 0 && i < m && j >= 0 && j < k
+                && (not rows_seen.(i)) && not cols_seen.(j)
+                &&
+                (rows_seen.(i) <- true;
+                 cols_seen.(j) <- true;
+                 true))
+              pairs
+         && Float.abs
+              (total -. List.fold_left (fun acc (i, j) -> acc +. cost.(i).(j)) 0. pairs)
+            < 1e-9))
+
 (* --- greedy baseline --- *)
 
 let test_greedy_suboptimal () =
@@ -136,4 +205,6 @@ let suite =
       test_rectangular_more_columns_rejected;
     prop_optimal;
     prop_permutation;
+    prop_rectangular_matches_oracle;
+    prop_rectangular_matching_valid;
   ]

@@ -156,6 +156,134 @@ let test_ed_wrong_kind_is_zero () =
   in
   Alcotest.check float_eq "wrong fluent kind" 0. (Distance.similarity wrong.rules gold)
 
+(* --- differential: PR 4 fast paths vs. the pre-overhaul reference --- *)
+
+(* The similarity pipeline exactly as it stood before the PR 4 overhaul:
+   pad-to-square assignment (via the square solver kept as the oracle),
+   structural instance-list comparison instead of interned fingerprints,
+   [Var_instance.of_rule] recomputed inside every rule pair, and no
+   rule-distance cache. The fast paths must reproduce it bit for bit. *)
+module Reference = struct
+  let solve_rectangular cost =
+    let m = Array.length cost in
+    if m = 0 then 0.
+    else begin
+      let k = Array.length cost.(0) in
+      let padded =
+        Array.map (fun row -> Array.init m (fun j -> if j < k then row.(j) else 0.)) cost
+      in
+      let _, total = Assignment.Kuhn_munkres.solve padded in
+      total
+    end
+
+  let numeric = function
+    | Term.Int n -> Some (float_of_int n)
+    | Term.Real r -> Some r
+    | _ -> None
+
+  let rec generic var_case u1 u2 =
+    match (u1, u2) with
+    | Term.Var v1, Term.Var v2 -> var_case v1 v2
+    | Term.Var _, _ | _, Term.Var _ -> 1.
+    | _ -> (
+      match (numeric u1, numeric u2) with
+      | Some x, Some y -> if Float.equal x y then 0. else 1.
+      | _ -> (
+        match (u1, u2) with
+        | Term.Atom a, Term.Atom b -> if String.equal a b then 0. else 1.
+        | Term.Compound (p, ss), Term.Compound (q, ts)
+          when String.equal p q && List.length ss = List.length ts ->
+          let k = float_of_int (List.length ss) in
+          let sum =
+            List.fold_left2 (fun acc s t -> acc +. generic var_case s t) 0. ss ts
+          in
+          sum /. (2. *. k)
+        | _ -> 1.))
+
+  (* Structural instance-list equality, as [equal_instances] computed it
+     before fingerprint interning. *)
+  let expression ~vi1 ~vi2 u1 u2 =
+    let var_case v1 v2 =
+      let i1 = Var_instance.instances vi1 v1 and i2 = Var_instance.instances vi2 v2 in
+      if i1 <> [] && i1 = i2 then 0. else 1.
+    in
+    generic var_case u1 u2
+
+  let cost_matrix d rows cols =
+    Array.init (Array.length rows) (fun i ->
+        Array.init (Array.length cols) (fun j -> d rows.(i) cols.(j)))
+
+  let set_distance d xs ys =
+    let xs, ys = if List.length xs >= List.length ys then (xs, ys) else (ys, xs) in
+    let m = List.length xs and k = List.length ys in
+    if m = 0 then 0.
+    else begin
+      let total = solve_rectangular (cost_matrix d (Array.of_list xs) (Array.of_list ys)) in
+      (float_of_int (m - k) +. total) /. float_of_int m
+    end
+
+  let rule (r1 : Ast.rule) (r2 : Ast.rule) =
+    let vi1 = Var_instance.of_rule r1 and vi2 = Var_instance.of_rule r2 in
+    let head_distance = expression ~vi1 ~vi2 r1.head r2.head in
+    let b1, b2, vi1, vi2 =
+      if List.length r1.body >= List.length r2.body then (r1.body, r2.body, vi1, vi2)
+      else (r2.body, r1.body, vi2, vi1)
+    in
+    let m = List.length b1 and k = List.length b2 in
+    let body_total =
+      if m = 0 then 0.
+      else if k = 0 then float_of_int m
+      else
+        solve_rectangular
+          (cost_matrix (fun a b -> expression ~vi1 ~vi2 a b) (Array.of_list b1)
+             (Array.of_list b2))
+        +. float_of_int (m - k)
+    in
+    (head_distance +. body_total) /. float_of_int (m + 1)
+
+  let event_description kb1 kb2 = set_distance (fun a b -> rule a b) kb1 kb2
+end
+
+let test_differential_gold_catalogue () =
+  (* Every gold definition against every other: 25 x 25 event-description
+     distances, covering simple and statically determined rules, shared
+     lower-level fluents and all body shapes in the catalogue. Exact
+     float equality: the fast paths change how the optimum is found, not
+     what it sums. *)
+  List.iter
+    (fun (e1 : Maritime.Gold.entry) ->
+      let r1 = (Maritime.Gold.definition e1.name).rules in
+      List.iter
+        (fun (e2 : Maritime.Gold.entry) ->
+          let r2 = (Maritime.Gold.definition e2.name).rules in
+          Alcotest.check float_eq
+            (e1.name ^ " vs " ^ e2.name)
+            (Reference.event_description r1 r2)
+            (Distance.event_description r1 r2))
+        Maritime.Gold.entries)
+    Maritime.Gold.entries
+
+let test_prepared_matches_unprepared () =
+  let gold = Ast.all_rules Maritime.Gold.event_description in
+  let mutated =
+    Ast.all_rules
+      (List.map
+         (fun d -> Adg.Error_model.apply Adg.Error_model.Add_redundant d)
+         Maritime.Gold.event_description)
+  in
+  let pg = Distance.prepare gold and pm = Distance.prepare mutated in
+  Alcotest.check float_eq "prepared = list API"
+    (Distance.event_description mutated gold)
+    (Distance.event_description_prepared pm pg);
+  (* Second call is served by the rule-pair cache; the value must not
+     move. *)
+  Alcotest.check float_eq "cache hit returns the same distance"
+    (Distance.event_description_prepared pm pg)
+    (Distance.event_description_prepared pm pg);
+  Alcotest.check float_eq "similarity_prepared"
+    (Distance.similarity mutated gold)
+    (Distance.similarity_prepared pm pg)
+
 (* --- properties --- *)
 
 let mutated_definition_gen =
@@ -208,6 +336,17 @@ let properties =
             d.rules
         in
         Float.abs (Distance.event_description d.rules renamed) < 1e-9);
+    prop "greedy distance is an upper bound on Hungarian" 200 arbitrary_mutated
+      (fun (name, d) ->
+        let gold = (Maritime.Gold.definition name).rules in
+        Distance.event_description ~strategy:Distance.Greedy d.Ast.rules gold
+        >= Distance.event_description d.Ast.rules gold -. 1e-9);
+    prop "fast paths match the pre-overhaul reference" 150 arbitrary_mutated
+      (fun (name, d) ->
+        let gold = (Maritime.Gold.definition name).rules in
+        Float.equal
+          (Distance.event_description d.Ast.rules gold)
+          (Reference.event_description d.Ast.rules gold));
   ]
 
 let suite =
@@ -227,5 +366,9 @@ let suite =
     Alcotest.test_case "event description identity" `Quick test_ed_identity;
     Alcotest.test_case "unmatched rules" `Quick test_ed_unmatched_rules;
     Alcotest.test_case "wrong fluent kind scores 0" `Quick test_ed_wrong_kind_is_zero;
+    Alcotest.test_case "differential vs reference on the gold catalogue" `Quick
+      test_differential_gold_catalogue;
+    Alcotest.test_case "prepared sides and rule-pair cache" `Quick
+      test_prepared_matches_unprepared;
   ]
   @ properties
