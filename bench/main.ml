@@ -191,6 +191,36 @@ let tests =
                 | Ok _ -> ()
                 | Error e -> failwith e)));
       ];
+    (* Derivation-recorder overhead on the fleet sliding-window workload:
+       the recorder-off row measures the gated (production-default) path —
+       a single branch per probe site, held to the same 2% drift budget as
+       every instrumented row — and the recorder-on row prices full
+       proof-tree capture. The on-row resets the buffer around each run
+       so memory stays bounded across iterations. *)
+    (let stream, knowledge = Fleet.generate () in
+     let ed = Domain.event_description Fleet.domain in
+     let run () =
+       match
+         Runtime.run
+           ~config:(Runtime.config ~window:3600 ~step:1800 ())
+           ~event_description:ed ~knowledge ~stream ()
+       with
+       | Ok _ -> ()
+       | Error e -> failwith e
+     in
+     Test.make_grouped ~name:"provenance-overhead"
+       [
+         Test.make ~name:"recorder-off" (Staged.stage run);
+         Test.make ~name:"recorder-on"
+           (Staged.stage (fun () ->
+                Rtec.Derivation.reset ();
+                Rtec.Derivation.enable ();
+                Fun.protect
+                  ~finally:(fun () ->
+                    Rtec.Derivation.disable ();
+                    Rtec.Derivation.reset ())
+                  run));
+       ]);
   ]
 
 (* Smoke-only parallel row: recognises the (cheap) fleet workload on
@@ -231,6 +261,7 @@ let smoke_tests ~jobs =
           "interval";
           "assignment";
           "fleet-domain";
+          "provenance-overhead";
           "similarity-fig2a-2b-kernel";
           "similarity-sweep";
           "generation-fig2a-kernel";

@@ -31,12 +31,37 @@ let metrics_arg =
   Cmdliner.Arg.(
     value & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE"
-        ~doc:"Collect pipeline metrics and write a JSON snapshot \
+        ~doc:"Collect pipeline metrics and write a snapshot \
               (counters, gauges, latency histograms).")
+
+let metrics_format_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FORMAT"
+        ~doc:"Format of the --metrics snapshot: $(b,json) (indented JSON) or \
+              $(b,prom) (Prometheus 0.0.4 text exposition).")
+
+(* The enabled sinks are flushed at most once: normally by the explicit
+   [telemetry_write] on the success path, otherwise by the [at_exit]
+   handler — so a run that dies mid-recognition (exception, [exit 1])
+   still leaves a valid trace/metrics file behind. *)
+let telemetry_written = ref false
+
+let telemetry_flush ~trace ~metrics ~metrics_format =
+  if not !telemetry_written then begin
+    telemetry_written := true;
+    Option.iter Telemetry.Trace.write_chrome trace;
+    Option.iter
+      (match metrics_format with
+      | `Json -> Telemetry.Metrics.write
+      | `Prom -> Telemetry.Metrics.write_prometheus)
+      metrics
+  end
 
 (* Enable the requested telemetry sinks, failing on unwritable targets
    before any work is done. *)
-let telemetry_setup ~trace ~metrics =
+let telemetry_setup ~trace ~metrics ~metrics_format =
   let probe flag file =
     match open_out file with
     | oc -> close_out oc
@@ -53,11 +78,11 @@ let telemetry_setup ~trace ~metrics =
     (fun f ->
       probe "metrics" f;
       Telemetry.Metrics.enable ())
-    metrics
+    metrics;
+  if Option.is_some trace || Option.is_some metrics then
+    at_exit (fun () -> telemetry_flush ~trace ~metrics ~metrics_format)
 
-let telemetry_write ~trace ~metrics =
-  Option.iter Telemetry.Trace.write_chrome trace;
-  Option.iter Telemetry.Metrics.write metrics
+let telemetry_write = telemetry_flush
 
 
 (* --- check --- *)
@@ -121,8 +146,9 @@ let recognise_cmd =
            ~doc:"Shard-count override (defaults to --jobs); more shards than \
                  jobs gives finer load balancing.")
   in
-  let run ed_file stream_file kb_file window step jobs shards fluent trace metrics =
-    telemetry_setup ~trace ~metrics;
+  let run ed_file stream_file kb_file window step jobs shards fluent trace metrics
+      metrics_format =
+    telemetry_setup ~trace ~metrics ~metrics_format;
     match Rtec.Parser.parse_clauses_result (read_file ed_file) with
     | Error e ->
       Printf.eprintf "parse error in %s: %s\n" ed_file e;
@@ -141,7 +167,7 @@ let recognise_cmd =
         Printf.eprintf "recognition failed: %s\n" e;
         exit 1
       | Ok (result, stats) ->
-        telemetry_write ~trace ~metrics;
+        telemetry_write ~trace ~metrics ~metrics_format;
         Format.printf "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
           stats.queries stats.events_processed stats.shards stats.jobs;
         let selected =
@@ -164,7 +190,111 @@ let recognise_cmd =
        ~doc:"Run the engine over a stream file and print maximal intervals.")
     Term.(
       const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ jobs_arg
-      $ shards_arg $ fluent_arg $ trace_arg $ metrics_arg)
+      $ shards_arg $ fluent_arg $ trace_arg $ metrics_arg $ metrics_format_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let gold_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"GOLD_ED") in
+  let gen_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"GENERATED_ED") in
+  let stream_arg = Arg.(required & pos 2 (some file) None & info [] ~docv:"STREAM") in
+  let kb_arg =
+    Arg.(value & opt (some file) None & info [ "knowledge"; "k" ] ~docv:"FILE"
+           ~doc:"Background knowledge facts.")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None & info [ "window"; "w" ] ~docv:"SECONDS"
+           ~doc:"Sliding window size; omit for a single query over the whole stream.")
+  in
+  let step_arg =
+    Arg.(value & opt (some int) None & info [ "step"; "s" ] ~docv:"SECONDS"
+           ~doc:"Query step (defaults to the window size).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for each of the two recognition runs.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the attribution report as JSON.")
+  in
+  let proof_arg =
+    Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE"
+           ~doc:"Write the generated description's derivation records (proof \
+                 trees) as structured JSON.")
+  in
+  let proof_chrome_arg =
+    Arg.(value & opt (some string) None & info [ "proof-chrome" ] ~docv:"FILE"
+           ~doc:"Write the generated description's derivation records as a \
+                 Chrome trace_event file (one track per activity; load in \
+                 chrome://tracing or Perfetto).")
+  in
+  let run gold_file gen_file stream_file kb_file window step jobs json proof proof_chrome
+      trace metrics metrics_format =
+    telemetry_setup ~trace ~metrics ~metrics_format;
+    let parse_ed file =
+      match Rtec.Parser.parse_clauses_result (read_file file) with
+      | Error e ->
+        Printf.eprintf "parse error in %s: %s\n" file e;
+        exit 1
+      | Ok rules ->
+        [
+          {
+            Rtec.Ast.name = Filename.remove_extension (Filename.basename file);
+            rules = Rtec.Ast.with_ids ~name:(Filename.remove_extension (Filename.basename file)) rules;
+          };
+        ]
+    in
+    let gold = parse_ed gold_file and generated = parse_ed gen_file in
+    let knowledge =
+      match kb_file with
+      | None -> Rtec.Knowledge.empty
+      | Some f -> Rtec.Knowledge.of_source (read_file f)
+    in
+    let stream = Rtec.Io.stream_of_string (read_file stream_file) in
+    let config = Runtime.config ?window ?step ~jobs () in
+    (match (proof, proof_chrome) with
+    | None, None -> ()
+    | _ -> (
+      match Provenance.recognise ~config ~event_description:generated ~knowledge ~stream () with
+      | Error e ->
+        Printf.eprintf "recognition failed: %s\n" e;
+        exit 1
+      | Ok run ->
+        Option.iter
+          (fun f -> Telemetry.Json.write_file ~indent:true f (Provenance.Export.proof_to_json run.Provenance.events))
+          proof;
+        Option.iter
+          (fun f -> Telemetry.Json.write_file f (Provenance.Export.proof_to_chrome run.Provenance.events))
+          proof_chrome));
+    match Provenance.Diff.diff ~config ~gold ~generated ~knowledge ~stream () with
+    | Error e ->
+      Printf.eprintf "explain failed: %s\n" e;
+      exit 1
+    | Ok report ->
+      telemetry_write ~trace ~metrics ~metrics_format;
+      Option.iter
+        (fun f -> Telemetry.Json.write_file ~indent:true f (Provenance.Diff.report_to_json report))
+        json;
+      Format.printf "%a@?" Provenance.Diff.pp_report report;
+      if report.Provenance.Diff.total_fp + report.Provenance.Diff.total_fn > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Recognise a gold and a generated event description over the same \
+             stream and attribute every diverging (FP/FN) time-point to the \
+             responsible rule and body condition. Exits 3 when the \
+             descriptions diverge."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "rtec explain gold.ed generated.ed dataset.stream -k dataset.kb \\";
+           `P "  --json explain.json --proof-chrome proof.trace";
+         ])
+    Term.(
+      const run $ gold_arg $ gen_arg $ stream_arg $ kb_arg $ window_arg $ step_arg
+      $ jobs_arg $ json_arg $ proof_arg $ proof_chrome_arg $ trace_arg $ metrics_arg
+      $ metrics_format_arg)
 
 (* --- dataset --- *)
 
@@ -199,4 +329,7 @@ let dataset_cmd =
 
 let () =
   let doc = "Run-Time Event Calculus command-line interface." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rtec" ~doc) [ check_cmd; recognise_cmd; dataset_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rtec" ~doc)
+          [ check_cmd; recognise_cmd; explain_cmd; dataset_cmd ]))

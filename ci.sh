@@ -29,6 +29,26 @@ set -eu
 dune build
 dune runtest
 dune build @bench-smoke
+
+# Explain-pipeline smoke: generate the maritime dataset, perturb one body
+# condition of the gold description, and check that the provenance diff
+# attributes the introduced false positives (exit 3 = divergence found)
+# and that the JSON report materialises. A clean self-diff must exit 0.
+EXPLAIN_DIR=$(mktemp -d)
+trap 'rm -rf "$EXPLAIN_DIR"' EXIT
+dune exec bin/rtec_cli.exe -- dataset -o "$EXPLAIN_DIR/ds" --replicas 1 > /dev/null
+sed 's/Speed > HcNearCoastMax/Speed > 0.0/' "$EXPLAIN_DIR/ds.ed" > "$EXPLAIN_DIR/pert.ed"
+set +e
+dune exec bin/rtec_cli.exe -- explain "$EXPLAIN_DIR/ds.ed" "$EXPLAIN_DIR/pert.ed" \
+  "$EXPLAIN_DIR/ds.stream" -k "$EXPLAIN_DIR/ds.kb" --json "$EXPLAIN_DIR/explain.json" > /dev/null
+status=$?
+set -e
+[ "$status" -eq 3 ] || { echo "explain smoke: expected divergence exit 3, got $status"; exit 1; }
+grep -q '"Speed > HcNearCoastMax"' "$EXPLAIN_DIR/explain.json" \
+  || { echo "explain smoke: perturbed condition not blamed"; exit 1; }
+dune exec bin/rtec_cli.exe -- explain "$EXPLAIN_DIR/ds.ed" "$EXPLAIN_DIR/ds.ed" \
+  "$EXPLAIN_DIR/ds.stream" -k "$EXPLAIN_DIR/ds.kb" > /dev/null \
+  || { echo "explain smoke: self-diff should not diverge"; exit 1; }
 # The multicore smoke row embeds the jobs value in its name, so the
 # drift gate only ever compares it against a baseline recorded with the
 # same fan-out; the sequential rows are checked as before.

@@ -102,7 +102,7 @@ let wrong_kind (d : Ast.definition) =
   match Ast.all_rules [ d ] with
   | { Ast.head = Term.Compound (("initiatedAt" | "terminatedAt"), _); _ } :: _ ->
     wrong_kind_simple d
-  | { Ast.head = Term.Compound ("holdsFor", [ fv; _ ]); body } :: _ -> (
+  | { Ast.head = Term.Compound ("holdsFor", [ fv; _ ]); body; _ } :: _ -> (
     match (Term.as_fvp fv, body) with
     | Some (fluent, value), Term.Compound ("holdsFor", [ first_fv; _ ]) :: _ ->
       let t = Term.Var "T" in

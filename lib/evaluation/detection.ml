@@ -26,3 +26,9 @@ let detect ?(window = 3600) ?(step = 1800) ?(jobs = 1) ~event_description ~datas
   | Error e -> Error e
 
 let instances result activity = Rtec.Engine.find_fluent result activity.indicator
+
+let explain ?window ?step ?(jobs = 1) ~gold ~generated ~dataset () =
+  Provenance.Diff.diff
+    ~config:(Runtime.config ?window ?step ~jobs ())
+    ~gold ~generated ~knowledge:dataset.Maritime.Dataset.knowledge
+    ~stream:dataset.Maritime.Dataset.stream ()

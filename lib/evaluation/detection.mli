@@ -20,3 +20,17 @@ val detect :
 
 val instances :
   Rtec.Engine.result -> activity -> (Rtec.Engine.fvp * Rtec.Interval.t) list
+
+val explain :
+  ?window:int ->
+  ?step:int ->
+  ?jobs:int ->
+  gold:Rtec.Ast.t ->
+  generated:Rtec.Ast.t ->
+  dataset:Maritime.Dataset.t ->
+  unit ->
+  (Provenance.Diff.report, string) result
+(** Recognises both event descriptions over the dataset's stream (with
+    derivation provenance) and attributes every diverging time-point to
+    the responsible rule and condition via {!Provenance.Diff.diff}.
+    Omitting [window] evaluates each description in a single pass. *)

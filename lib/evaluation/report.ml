@@ -93,6 +93,18 @@ let ablations ppf best =
       Format.fprintf ppf "  %-12s %12.3f %12.3f@." label hungarian greedy)
     (Experiments.assignment_ablation best)
 
+let explain ppf ~gold_label ~generated_label (r : Provenance.Diff.report) =
+  Format.fprintf ppf "Explain: %s vs. %s@." gold_label generated_label;
+  Provenance.Diff.pp_report ppf r
+
+let explain_json ~gold_label ~generated_label r =
+  Telemetry.Json.Obj
+    [
+      ("gold", Telemetry.Json.Str gold_label);
+      ("generated", Telemetry.Json.Str generated_label);
+      ("report", Provenance.Diff.report_to_json r);
+    ]
+
 let print_all ?dataset ?window ?step ppf () =
   let generations = Experiments.generate_all () in
   let best = Experiments.best_per_model generations in

@@ -17,3 +17,17 @@ val scheme_table : Format.formatter -> Experiments.generation list -> unit
 val ablations : Format.formatter -> Experiments.generation list -> unit
 (** Prints the zero-shot and greedy-assignment ablation tables for the
     given (best-per-model) generations. *)
+
+val explain :
+  Format.formatter ->
+  gold_label:string ->
+  generated_label:string ->
+  Provenance.Diff.report ->
+  unit
+(** Renders an FP/FN attribution report (from {!Detection.explain}) as
+    plain text: per-activity divergence totals followed by the
+    per-rule/per-condition blame table. *)
+
+val explain_json :
+  gold_label:string -> generated_label:string -> Provenance.Diff.report -> Telemetry.Json.t
+(** The same report as a JSON document (schema ["adg-provenance/1"]). *)

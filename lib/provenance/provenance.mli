@@ -1,0 +1,150 @@
+(** Derivation provenance: proof-tree capture, FP/FN attribution and the
+    [explain] pipeline.
+
+    Built on the gated recorder of {!Rtec.Derivation}: {!recognise} runs
+    ordinary (optionally sharded) recognition with the recorder on and
+    returns the result together with its derivation records; {!Store}
+    indexes those records per fluent-value pair; {!Diff} recognises a gold
+    and a generated event description over the same stream, computes the
+    diverging (FP/FN) time-points per activity and attributes every
+    divergence to the responsible rule and body condition — positive
+    provenance (which generated rule fired, and on what grounds) for false
+    positives, negative provenance ({!Rtec.Engine.Diagnosis}: the first
+    failing condition of the twin rule) for false negatives; {!Export}
+    renders proof trees through the telemetry JSON / Chrome-trace
+    infrastructure. *)
+
+module Store : sig
+  type t
+
+  type transition = {
+    time : int;
+    kind : Rtec.Derivation.transition_kind;
+    source : Rtec.Derivation.source;
+  }
+
+  type derived = {
+    rule : string;
+    spans : (int * int) list;
+    steps : Rtec.Derivation.step list;
+  }
+
+  val of_events : Rtec.Derivation.event list -> t
+  (** Indexes the records per FVP, deduplicating transitions re-derived by
+      overlapping windows (same time, kind and rule) and sorting them by
+      time. *)
+
+  val fvps : t -> Rtec.Engine.fvp list
+  (** All FVPs with at least one record, in canonical order. *)
+
+  val transitions : t -> Rtec.Engine.fvp -> transition list
+  (** Ascending by time. *)
+
+  val inits : t -> Rtec.Engine.fvp -> (int * string) list
+  (** Rule-derived initiations [(time, rule)], ascending; carry/initially
+      seeds are excluded (they restate an earlier window's derivation). *)
+
+  val terms : t -> Rtec.Engine.fvp -> (int * string) list
+  (** Rule- or pattern-derived terminations [(time, rule)], ascending. *)
+
+  val derived : t -> Rtec.Engine.fvp -> derived list
+  (** Accepted [holdsFor] solutions of statically determined fluents. *)
+end
+
+type run = {
+  result : Rtec.Engine.result;
+  stats : Runtime.stats;
+  events : Rtec.Derivation.event list;
+  store : Store.t;
+}
+
+val recognise :
+  ?config:Runtime.config ->
+  event_description:Rtec.Ast.t ->
+  knowledge:Rtec.Knowledge.t ->
+  stream:Rtec.Stream.t ->
+  unit ->
+  (run, string) Result.t
+(** {!Runtime.run} with the derivation recorder enabled for the duration
+    of the call (resetting the buffer first and restoring the previous
+    gate state after). The recognition result is bit-identical to a run
+    without recording. *)
+
+module Diff : sig
+  type kind = Fp | Fn
+
+  type condition = {
+    index : int;  (** 1-based position in the blamed rule's body *)
+    text : string;  (** the condition as written in the rule *)
+    grounded : string;  (** its grounding at the diagnosed time-point *)
+  }
+
+  type attribution = {
+    activity : string * int;  (** fluent indicator *)
+    fvp : Rtec.Engine.fvp;
+    kind : kind;
+    span : int * int;  (** the diverging maximal sub-interval *)
+    points : int;  (** time-points in [span] *)
+    anchor : int;  (** time-point the rules were diagnosed at *)
+    rule : string;  (** responsible rule id (possibly ["missing:<id>"]) *)
+    condition : condition option;
+        (** the diverging body condition; [None] when the divergence is a
+            whole missing rule or could not be narrowed further *)
+    note : string;  (** human-readable one-line justification *)
+  }
+
+  type row = {
+    row_activity : string * int;
+    row_rule : string;
+    row_condition : condition option;
+    fp_points : int;
+    fn_points : int;
+    fp_spans : int;
+    fn_spans : int;
+  }
+
+  type activity_totals = {
+    act : string * int;
+    matched_points : int;
+    act_fp_points : int;
+    act_fn_points : int;
+  }
+
+  type report = {
+    attributions : attribution list;
+    rows : row list;  (** the blame table: one row per (activity, rule, condition) *)
+    activities : activity_totals list;  (** every activity, diverging or not *)
+    total_matched : int;
+    total_fp : int;
+    total_fn : int;
+  }
+
+  val diff :
+    ?config:Runtime.config ->
+    gold:Rtec.Ast.t ->
+    generated:Rtec.Ast.t ->
+    knowledge:Rtec.Knowledge.t ->
+    stream:Rtec.Stream.t ->
+    unit ->
+    (report, string) Result.t
+  (** Recognises both event descriptions over [stream] (with provenance),
+      then attributes every FP/FN time-point of every activity defined by
+      either description. *)
+
+  val report_to_json : report -> Telemetry.Json.t
+  val pp_report : Format.formatter -> report -> unit
+  val report_to_string : report -> string
+end
+
+module Export : sig
+  val proof_to_json : Rtec.Derivation.event list -> Telemetry.Json.t
+  (** Structured dump of the derivation records (schema
+      ["adg-proof/1"]). *)
+
+  val proof_to_chrome : Rtec.Derivation.event list -> Telemetry.Json.t
+  (** Chrome trace_event rendering of the proof records: each activity is
+      a track; transitions are instant events, [holdsFor] derivations and
+      input fluents are complete ("X") events spanning their intervals —
+      loadable in chrome://tracing / Perfetto next to the span traces of
+      {!Telemetry.Trace}. *)
+end

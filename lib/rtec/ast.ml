@@ -1,4 +1,4 @@
-type rule = { head : Term.t; body : Term.t list }
+type rule = { head : Term.t; body : Term.t list; id : string }
 type definition = { name : string; rules : rule list }
 type t = definition list
 
@@ -7,7 +7,13 @@ type kind =
   | Terminated of { fluent : Term.t; value : Term.t; time : Term.t }
   | Holds_for of { fluent : Term.t; value : Term.t; interval : Term.t }
 
-let rule head body = { head; body }
+let rule ?(id = "") head body = { head; body; id }
+let rule_id r = if String.equal r.id "" then None else Some r.id
+
+let with_ids ~name rules =
+  List.mapi
+    (fun i r -> if String.equal r.id "" then { r with id = Printf.sprintf "%s#%d" name (i + 1) } else r)
+    rules
 
 let kind_of_rule r =
   match r.head with
@@ -59,5 +65,5 @@ let body_literal r i =
 let map_terms f ed =
   List.map
     (fun d ->
-      { d with rules = List.map (fun r -> { head = f r.head; body = List.map f r.body }) d.rules })
+      { d with rules = List.map (fun r -> { r with head = f r.head; body = List.map f r.body }) d.rules })
     ed

@@ -7,7 +7,11 @@
     the similarity metric of Section 4 can treat them uniformly as
     expression trees. *)
 
-type rule = { head : Term.t; body : Term.t list }
+type rule = { head : Term.t; body : Term.t list; id : string }
+(** [id] is a stable provenance label ([""] = anonymous). The parser
+    assigns ["<definition>#<i>"] (1-based, in source order); derivation
+    records and the blame tables of {!module:Provenance} refer to rules
+    by this label. It carries no evaluation semantics. *)
 
 type definition = { name : string; rules : rule list }
 (** All rules contributed by one activity (one prompt-G round). *)
@@ -21,7 +25,14 @@ type kind =
   | Terminated of { fluent : Term.t; value : Term.t; time : Term.t }
   | Holds_for of { fluent : Term.t; value : Term.t; interval : Term.t }
 
-val rule : Term.t -> Term.t list -> rule
+val rule : ?id:string -> Term.t -> Term.t list -> rule
+val rule_id : rule -> string option
+(** [None] when the rule is anonymous ([id = ""]). *)
+
+val with_ids : name:string -> rule list -> rule list
+(** Assigns ["name#i"] (1-based) to every anonymous rule, keeping
+    existing ids. *)
+
 val kind_of_rule : rule -> kind option
 (** [None] when the head is not an [initiatedAt]/[terminatedAt]/[holdsFor]
     atom over a fluent-value pair. *)

@@ -1,0 +1,87 @@
+type step = { index : int; literal : string; grounded : string }
+
+type source =
+  | Rule of { rule : string; steps : step list }
+  | Pattern of { rule : string; pattern : string }
+  | Carry of { origin : string }
+
+type transition_kind = Init | Term
+
+type event =
+  | Query of { q : int; eval_from : int; window_start : int }
+  | Transition of {
+      fluent : Term.t;
+      value : Term.t;
+      time : int;
+      kind : transition_kind;
+      source : source;
+    }
+  | Derived of {
+      fluent : Term.t;
+      value : Term.t;
+      rule : string;
+      spans : (int * int) list;
+      steps : step list;
+    }
+  | Input of { fluent : Term.t; value : Term.t; spans : (int * int) list }
+
+let on = ref false
+let max_events = ref 1_000_000
+
+(* Reversed list of events plus a count; one buffer per domain, like
+   Telemetry.Trace: the main domain writes to [global], workers write to
+   a DLS-private buffer inside [with_local], appended to [global] under
+   the mutex exactly at join. *)
+type buffer = { mutable items : event list; mutable count : int; mutable dropped : int }
+
+let fresh () = { items = []; count = 0; dropped = 0 }
+let global = fresh ()
+let global_mutex = Mutex.create ()
+let local_key : buffer option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current () = match Domain.DLS.get local_key with Some b -> b | None -> global
+
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+let reset () =
+  global.items <- [];
+  global.count <- 0;
+  global.dropped <- 0
+
+let set_max_events n = max_events := max 0 n
+
+let record ev =
+  if !on then begin
+    let b = current () in
+    if b.count >= !max_events then b.dropped <- b.dropped + 1
+    else begin
+      b.items <- ev :: b.items;
+      b.count <- b.count + 1
+    end
+  end
+
+let events () = List.rev global.items
+let dropped () = global.dropped
+
+let merge_local l =
+  Mutex.protect global_mutex (fun () ->
+      List.iter
+        (fun ev ->
+          if global.count >= !max_events then global.dropped <- global.dropped + 1
+          else begin
+            global.items <- ev :: global.items;
+            global.count <- global.count + 1
+          end)
+        (List.rev l.items);
+      global.dropped <- global.dropped + l.dropped)
+
+let with_local f =
+  let prev = Domain.DLS.get local_key in
+  let l = fresh () in
+  Domain.DLS.set local_key (Some l);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set local_key prev;
+      merge_local l)
+    f

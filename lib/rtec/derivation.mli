@@ -1,0 +1,77 @@
+(** Gated derivation recorder: rule-level provenance for recognition.
+
+    When enabled, the engine records one event per derived transition
+    (initiation/termination of a simple fluent), per accepted [holdsFor]
+    solution of a statically determined fluent, and per window query —
+    each carrying the responsible rule id and the grounded per-condition
+    trail of the body that succeeded. The recorder follows the
+    [Telemetry] discipline: a single [bool] gate, a strict no-op when
+    disabled, and recognition output is bit-identical either way.
+
+    Buffers are per-domain: the main domain records into a process-global
+    buffer; worker domains record into a private buffer inside
+    {!with_local} that is merged into the global one exactly at join
+    (mirroring [Telemetry.Metrics.with_local]). *)
+
+type step = {
+  index : int;  (** 1-based position of the condition in the rule body *)
+  literal : string;  (** the body literal as written in the rule *)
+  grounded : string;  (** the literal under the successful substitution *)
+}
+
+(** How a transition point was obtained. *)
+type source =
+  | Rule of { rule : string; steps : step list }
+      (** a body derivation of an [initiatedAt]/[terminatedAt] rule *)
+  | Pattern of { rule : string; pattern : string }
+      (** a non-ground termination pattern applied to a ground initiation *)
+  | Carry of { origin : string }
+      (** amalgamated inertia carried across a window boundary; [origin]
+          names the mechanism (["carry"] or ["initially"]) *)
+
+type transition_kind = Init | Term
+
+type event =
+  | Query of { q : int; eval_from : int; window_start : int }
+      (** marks the window evaluation that produced the records that
+          follow it in buffer order *)
+  | Transition of {
+      fluent : Term.t;
+      value : Term.t;
+      time : int;
+      kind : transition_kind;
+      source : source;
+    }
+  | Derived of {
+      fluent : Term.t;
+      value : Term.t;
+      rule : string;
+      spans : (int * int) list;
+      steps : step list;
+    }  (** one accepted [holdsFor] solution of an SD rule *)
+  | Input of { fluent : Term.t; value : Term.t; spans : (int * int) list }
+      (** an input (stream) fluent consulted by the run *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clears the global buffer and the dropped-event count. *)
+
+val set_max_events : int -> unit
+(** Cap on buffered events (default 1,000,000); further records are
+    counted as dropped. *)
+
+val record : event -> unit
+(** No-op unless enabled. *)
+
+val events : unit -> event list
+(** Recorded events, in record order (worker batches appear after the
+    main domain's events, each batch internally ordered). *)
+
+val dropped : unit -> int
+
+val with_local : (unit -> 'a) -> 'a
+(** Runs [f] with a fresh per-domain buffer, merged into the global
+    buffer when [f] returns (or raises). *)

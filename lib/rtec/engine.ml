@@ -190,21 +190,57 @@ and body_solutions env subst = function
     literal_solutions env subst literal
     |> List.concat_map (fun s -> body_solutions env s rest)
 
+(* Stable provenance label for the [i]-th rule of an indicator: the
+   parser-assigned id when present, a positional fallback otherwise. *)
+let rule_label ind i (r : Ast.rule) =
+  if String.equal r.Ast.id "" then Printf.sprintf "%s/%d#%d" (fst ind) (snd ind) (i + 1)
+  else r.Ast.id
+
+(* [body_solutions] with a per-condition trail: identical traversal (and
+   therefore identical solution order), each solution paired with the
+   grounded outcome of every body literal along its path. Only reached
+   when the derivation recorder is enabled. *)
+let traced_body_solutions env body =
+  let rec go subst acc index = function
+    | [] -> [ (subst, List.rev acc) ]
+    | literal :: rest ->
+      literal_solutions env subst literal
+      |> List.concat_map (fun s ->
+             let step =
+               {
+                 Derivation.index;
+                 literal = Term.to_string literal;
+                 grounded = Term.to_string (Subst.apply s literal);
+               }
+             in
+             go s (step :: acc) (index + 1) rest)
+  in
+  go Subst.empty [] 1 body
+
 (* Evaluate one initiatedAt/terminatedAt rule, returning the (fvp,
    time-point) pairs it derives within the window. Initiations must be
    ground (they create FVP instances); terminations may retain variables —
    e.g. rule (3) of the paper terminates withinArea(Vl, AreaType) for every
    AreaType on a communication gap — and then act as patterns terminating
    every matching instance. *)
-let transition_points env (r : Ast.rule) ~fluent ~value ~time ~require_ground =
+let transition_points env ~label ~kind (r : Ast.rule) ~fluent ~value ~time ~require_ground =
   Telemetry.Metrics.incr m_rule_evals;
-  body_solutions env Subst.empty r.Ast.body
-  |> List.filter_map (fun s ->
-         let f = Subst.apply s fluent and v = Subst.apply s value in
-         match Subst.apply s time with
-         | Term.Int t when (not require_ground) || (Term.is_ground f && Term.is_ground v) ->
-           Some ((f, v), t)
-         | _ -> None)
+  let finish s steps =
+    let f = Subst.apply s fluent and v = Subst.apply s value in
+    match Subst.apply s time with
+    | Term.Int t when (not require_ground) || (Term.is_ground f && Term.is_ground v) ->
+      (match steps with
+      | Some steps when Term.is_ground f && Term.is_ground v ->
+        Derivation.record
+          (Derivation.Transition
+             { fluent = f; value = v; time = t; kind; source = Derivation.Rule { rule = label; steps } })
+      | _ -> ());
+      Some ((f, v), t)
+    | _ -> None
+  in
+  if Derivation.is_enabled () then
+    traced_body_solutions env r.Ast.body |> List.filter_map (fun (s, steps) -> finish s (Some steps))
+  else body_solutions env Subst.empty r.Ast.body |> List.filter_map (fun s -> finish s None)
 
 (* --- statically determined fluents --- *)
 
@@ -290,11 +326,14 @@ let bind_interval r imap out spans =
   | _ -> Result.Error (Printf.sprintf "rule %s: interval output must be a variable" (Printer.rule_to_string r))
 
 (* Evaluate the body of a holdsFor rule; each solution carries the final
-   substitution and interval-variable environment. Interval-construct
-   errors abort the whole evaluation (they indicate an ill-formed rule). *)
-let rec sd_solutions env r subst imap = function
-  | [] -> Ok [ (subst, imap) ]
-  | Term.Compound ("holdsFor", [ fv; ivar ]) :: rest -> (
+   substitution, interval-variable environment and — when [trace] is set —
+   the grounded per-condition trail for the derivation recorder (an empty
+   list otherwise; building it is the only difference, so solutions are
+   identical either way). Interval-construct errors abort the whole
+   evaluation (they indicate an ill-formed rule). *)
+let rec sd_solutions env r ~trace idx subst imap trail = function
+  | [] -> Ok [ (subst, imap, List.rev trail) ]
+  | (Term.Compound ("holdsFor", [ fv; ivar ]) as literal) :: rest -> (
     match Term.as_fvp (Subst.apply subst fv) with
     | None ->
       Result.Error
@@ -307,12 +346,25 @@ let rec sd_solutions env r subst imap = function
           match bind_interval r imap ivar spans with
           | Result.Error e -> Result.Error e
           | Ok imap' -> (
-            match sd_solutions env r s imap' rest with
+            let trail =
+              if trace then
+                {
+                  Derivation.index = idx;
+                  literal = Term.to_string literal;
+                  grounded =
+                    Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply s literal))
+                      (Interval.to_string spans);
+                }
+                :: trail
+              else trail
+            in
+            match sd_solutions env r ~trace (idx + 1) s imap' trail rest with
             | Result.Error e -> Result.Error e
             | Ok sols -> go (sols :: acc) more))
       in
       go [] branches)
-  | Term.Compound (("union_all" | "intersect_all") as op, [ operands; out ]) :: rest -> (
+  | (Term.Compound (("union_all" | "intersect_all") as op, [ operands; out ]) as literal) :: rest
+    -> (
     match Term.as_list operands with
     | None ->
       Result.Error
@@ -324,8 +376,20 @@ let rec sd_solutions env r subst imap = function
             else Interval.intersect_all lists
           in
           Result.bind (bind_interval r imap out spans) (fun imap' ->
-              sd_solutions env r subst imap' rest)))
-  | Term.Compound ("relative_complement_all", [ i; operands; out ]) :: rest -> (
+              let trail =
+                if trace then
+                  {
+                    Derivation.index = idx;
+                    literal = Term.to_string literal;
+                    grounded =
+                      Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply subst literal))
+                        (Interval.to_string spans);
+                  }
+                  :: trail
+                else trail
+              in
+              sd_solutions env r ~trace (idx + 1) subst imap' trail rest)))
+  | (Term.Compound ("relative_complement_all", [ i; operands; out ]) as literal) :: rest -> (
     match Term.as_list operands with
     | None ->
       Result.Error
@@ -336,8 +400,21 @@ let rec sd_solutions env r subst imap = function
           Result.bind (collect_operands r imap elems) (fun lists ->
               let spans = Interval.relative_complement_all base lists in
               Result.bind (bind_interval r imap out spans) (fun imap' ->
-                  sd_solutions env r subst imap' rest))))
-  | Term.Compound ("intDurGreater", [ i; threshold; out ]) :: rest -> (
+                  let trail =
+                    if trace then
+                      {
+                        Derivation.index = idx;
+                        literal = Term.to_string literal;
+                        grounded =
+                          Printf.sprintf "%s -> %s"
+                            (Term.to_string (Subst.apply subst literal))
+                            (Interval.to_string spans);
+                      }
+                      :: trail
+                    else trail
+                  in
+                  sd_solutions env r ~trace (idx + 1) subst imap' trail rest))))
+  | (Term.Compound ("intDurGreater", [ i; threshold; out ]) as literal) :: rest -> (
     let min_duration =
       match threshold with
       | Term.Int n -> Some n
@@ -353,7 +430,19 @@ let rec sd_solutions env r subst imap = function
       Result.bind (operand_spans r imap i) (fun base ->
           let spans = Interval.filter_duration ~min_duration base in
           Result.bind (bind_interval r imap out spans) (fun imap' ->
-              sd_solutions env r subst imap' rest)))
+              let trail =
+                if trace then
+                  {
+                    Derivation.index = idx;
+                    literal = Term.to_string literal;
+                    grounded =
+                      Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply subst literal))
+                        (Interval.to_string spans);
+                  }
+                  :: trail
+                else trail
+              in
+              sd_solutions env r ~trace (idx + 1) subst imap' trail rest)))
   | literal :: _ ->
     Result.Error
       (Printf.sprintf "rule %s: literal %s is not allowed in a holdsFor body"
@@ -369,29 +458,45 @@ module FvpMap = Map.Make (struct
     if c <> 0 then c else Term.compare v1 v2
 end)
 
-let evaluate_simple env ~carry (rules : Ast.rule list) =
+let evaluate_simple env ~ind ~carry (rules : Ast.rule list) =
   let inits = ref FvpMap.empty and terms = ref FvpMap.empty in
   let term_patterns = ref [] in
   let record store (fv, t) =
     store := FvpMap.update fv (fun o -> Some (t :: Option.value ~default:[] o)) !store
   in
-  List.iter
-    (fun r ->
+  List.iteri
+    (fun i r ->
       match Ast.kind_of_rule r with
       | Some (Ast.Initiated { fluent; value; time }) ->
         List.iter (record inits)
-          (transition_points env r ~fluent ~value ~time ~require_ground:true)
+          (transition_points env ~label:(rule_label ind i r) ~kind:Derivation.Init r ~fluent
+             ~value ~time ~require_ground:true)
       | Some (Ast.Terminated { fluent; value; time }) ->
+        let label = rule_label ind i r in
         List.iter
           (fun (((f, v) as fv), t) ->
             if Term.is_ground f && Term.is_ground v then record terms (fv, t)
-            else term_patterns := (fv, t) :: !term_patterns)
-          (transition_points env r ~fluent ~value ~time ~require_ground:false)
+            else term_patterns := ((fv, t), label) :: !term_patterns)
+          (transition_points env ~label ~kind:Derivation.Term r ~fluent ~value ~time
+             ~require_ground:false)
       | _ -> ())
     rules;
   (* FVPs of this fluent holding at the window start persist by inertia:
      seed an initiation just before the window. *)
-  List.iter (fun fv -> record inits (fv, env.from - 1)) carry;
+  List.iter
+    (fun (((f, v) as fv), origin) ->
+      record inits (fv, env.from - 1);
+      if Derivation.is_enabled () then
+        Derivation.record
+          (Derivation.Transition
+             {
+               fluent = f;
+               value = v;
+               time = env.from - 1;
+               kind = Derivation.Init;
+               source = Derivation.Carry { origin };
+             }))
+    carry;
   (* The initiation of a different value of the same fluent terminates the
      current value (a fluent has at most one value at a time). *)
   let compare_fvp (f1, v1) (f2, v2) =
@@ -412,9 +517,22 @@ let evaluate_simple env ~carry (rules : Ast.rule list) =
           (* Non-ground termination patterns apply to every matching
              ground instance. *)
           List.fold_left
-            (fun acc ((pf, pv), t) ->
+            (fun acc (((pf, pv), t), plabel) ->
               match Unify.unify pf fluent with
-              | Some s when Option.is_some (Unify.unify ~subst:s pv value) -> t :: acc
+              | Some s when Option.is_some (Unify.unify ~subst:s pv value) ->
+                if Derivation.is_enabled () then
+                  Derivation.record
+                    (Derivation.Transition
+                       {
+                         fluent;
+                         value;
+                         time = t;
+                         kind = Derivation.Term;
+                         source =
+                           Derivation.Pattern
+                             { rule = plabel; pattern = Term.to_string (Term.eq pf pv) };
+                       });
+                t :: acc
               | _ -> acc)
             stops !term_patterns
         in
@@ -429,15 +547,16 @@ let evaluate_simple env ~carry (rules : Ast.rule list) =
       end)
     all_fvps
 
-let evaluate_sd env (rules : Ast.rule list) =
+let evaluate_sd env ~ind (rules : Ast.rule list) =
   let results = ref FvpMap.empty in
   let skipped = ref [] in
-  List.iter
-    (fun (r : Ast.rule) ->
+  let trace = Derivation.is_enabled () in
+  List.iteri
+    (fun i (r : Ast.rule) ->
         match Ast.kind_of_rule r with
         | Some (Ast.Holds_for { fluent; value; interval }) -> (
           Telemetry.Metrics.incr m_rule_evals;
-          match sd_solutions env r Subst.empty Imap.empty r.body with
+          match sd_solutions env r ~trace 1 Subst.empty Imap.empty [] r.body with
           | Result.Error e ->
             (* An ill-formed rule contributes nothing (the definition is
                "unusable in practice", Section 5.2) but does not abort the
@@ -445,12 +564,22 @@ let evaluate_sd env (rules : Ast.rule list) =
             skipped := e :: !skipped
           | Ok sols ->
             List.iter
-              (fun (s, imap) ->
+              (fun (s, imap, steps) ->
                 let f = Subst.apply s fluent and v = Subst.apply s value in
                 match interval with
                 | Term.Var iv when Term.is_ground f && Term.is_ground v -> (
                   match Imap.find_opt iv imap with
                   | Some spans when not (Interval.is_empty spans) ->
+                    if trace then
+                      Derivation.record
+                        (Derivation.Derived
+                           {
+                             fluent = f;
+                             value = v;
+                             rule = rule_label ind i r;
+                             spans = Interval.to_list spans;
+                             steps;
+                           });
                     results :=
                       FvpMap.update (f, v)
                         (fun o ->
@@ -477,8 +606,18 @@ let initial_fvps event_description =
       | _ -> None)
     (Ast.all_rules event_description)
 
-let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge ~stream
-    ~from ~until () =
+(* Everything [run] needs after parsing the dependency structure and
+   seeding the cache; kept as a value so the negative-provenance probe
+   ([Diagnosis]) can re-enter evaluation with the same environment. *)
+type prepared = {
+  p_env : env;
+  p_deps : Dependency.t;
+  p_order : (string * int) list;
+  p_carry : (fvp * string) list;  (* fvp, origin ("carry" | "initially") *)
+}
+
+let prepare_run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
+    ~stream ~from ~until () =
   let deps = Dependency.analyse event_description in
   match Dependency.evaluation_order deps with
   | Error e -> Result.Error e
@@ -492,7 +631,10 @@ let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
       (* [initially] declarations only apply when the window reaches back
          to the start of the stream; afterwards the carry list carries
          their effect forward. *)
-      if from <= lo then carry @ initial_fvps event_description else carry
+      List.map (fun fv -> (fv, "carry")) carry
+      @
+      if from <= lo then List.map (fun fv -> (fv, "initially")) (initial_fvps event_description)
+      else []
     in
     let cache = Cache.create () in
     (* Input statically determined fluents are available from the start,
@@ -500,7 +642,13 @@ let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
     List.iter
       (fun (fv, spans) ->
         let spans = Interval.clamp (input_from + 1) Interval.infinity spans in
-        if not (Interval.is_empty spans) then Cache.add cache fv spans)
+        if not (Interval.is_empty spans) then begin
+          Cache.add cache fv spans;
+          if Derivation.is_enabled () then
+            Derivation.record
+              (Derivation.Input
+                 { fluent = fst fv; value = snd fv; spans = Interval.to_list spans })
+        end)
       (Stream.input_fluents stream);
     let universe_tbl = Hashtbl.create 64 in
     List.iter
@@ -511,31 +659,39 @@ let run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
         | Some r -> r := fv :: !r)
       universe;
     let env = { stream; knowledge; cache; from; until; universe = universe_tbl } in
-    let rec evaluate = function
-      | [] -> Ok ()
-      | ind :: rest -> (
-        match Dependency.info deps ind with
-        | None -> evaluate rest
-        | Some info -> (
-          match info.fluent_class with
-          | Dependency.Mixed ->
-            Result.Error
-              (Printf.sprintf "fluent %s/%d mixes simple and statically determined rules"
-                 (fst ind) (snd ind))
-          | Dependency.Simple ->
-            let carry_here =
-              List.filter
-                (fun (f, _) -> Term.indicator f = ind)
-                carry
-            in
-            evaluate_simple env ~carry:carry_here info.rules;
-            evaluate rest
-          | Dependency.Statically_determined -> (
-            match evaluate_sd env info.rules with
-            | Result.Error e -> Result.Error e
-            | Ok _skipped -> evaluate rest)))
-    in
-    Result.map (fun () -> Cache.to_result cache) (evaluate order)
+    Ok { p_env = env; p_deps = deps; p_order = order; p_carry = carry }
+
+let evaluate_prepared p =
+  let rec evaluate = function
+    | [] -> Ok ()
+    | ind :: rest -> (
+      match Dependency.info p.p_deps ind with
+      | None -> evaluate rest
+      | Some info -> (
+        match info.fluent_class with
+        | Dependency.Mixed ->
+          Result.Error
+            (Printf.sprintf "fluent %s/%d mixes simple and statically determined rules"
+               (fst ind) (snd ind))
+        | Dependency.Simple ->
+          let carry_here =
+            List.filter (fun ((f, _), _) -> Term.indicator f = ind) p.p_carry
+          in
+          evaluate_simple p.p_env ~ind ~carry:carry_here info.rules;
+          evaluate rest
+        | Dependency.Statically_determined -> (
+          match evaluate_sd p.p_env ~ind info.rules with
+          | Result.Error e -> Result.Error e
+          | Ok _skipped -> evaluate rest)))
+  in
+  evaluate p.p_order
+
+let run ?carry ?universe ?input_from ~event_description ~knowledge ~stream ~from ~until () =
+  Result.bind
+    (prepare_run ?carry ?universe ?input_from ~event_description ~knowledge ~stream ~from
+       ~until ())
+    (fun p ->
+      Result.map (fun () -> Cache.to_result p.p_env.cache) (evaluate_prepared p))
 
 let holds_at result fv t =
   match List.find_opt (fun ((f, v), _) -> Term.equal f (fst fv) && Term.equal v (snd fv)) result with
@@ -560,3 +716,209 @@ let query result pattern =
         | None -> false
         | Some s -> Option.is_some (Unify.unify ~subst:s pv v))
       result
+
+(* --- negative provenance --- *)
+
+module Diagnosis = struct
+  (* A re-evaluation probe over a fully evaluated single-pass environment:
+     given a rule, a ground FVP and a time-point, replay the rule's body
+     and report either that it derives the FVP there or the first body
+     condition that fails (with its grounding under the most advanced
+     substitution frontier). Recognition never calls this; it exists for
+     the FP/FN attribution pipeline in lib/provenance. *)
+
+  type t = { d_env : env; d_deps : Dependency.t }
+
+  type outcome =
+    | Derivable
+    | Head_mismatch
+    | Failing of { index : int; literal : Term.t; grounded : Term.t }
+    | Unsupported of string
+
+  let prepare ~event_description ~knowledge ~stream () =
+    (* The probe re-runs recognition; keep its derivations out of any
+       live recorder buffer. *)
+    let was = Derivation.is_enabled () in
+    Derivation.disable ();
+    Fun.protect
+      ~finally:(fun () -> if was then Derivation.enable ())
+      (fun () ->
+        let lo, hi = Stream.extent stream in
+        match
+          prepare_run ~event_description ~knowledge ~stream ~from:lo ~until:hi ()
+        with
+        | Error e -> Result.Error e
+        | Ok p -> (
+          match evaluate_prepared p with
+          | Error e -> Result.Error e
+          | Ok () -> Ok { d_env = p.p_env; d_deps = p.p_deps }))
+
+  let result t = Cache.to_result t.d_env.cache
+
+  let rules_for t ind =
+    match Dependency.info t.d_deps ind with
+    | None -> []
+    | Some info -> List.mapi (fun i r -> (rule_label ind i r, r)) info.rules
+
+  let indicators t =
+    List.map (fun (i : Dependency.info) -> i.Dependency.indicator) (Dependency.all t.d_deps)
+
+  (* Frontier walk over a transition-rule body: expand every body literal
+     against all current solutions; the first literal with no solution is
+     the failing condition. *)
+  let transition_at t (r : Ast.rule) ~head:(fluent, value, htime) ~fvp:(tf, tv) ~time =
+    match Unify.unify fluent tf with
+    | None -> Head_mismatch
+    | Some s -> (
+      match Unify.unify ~subst:s value tv with
+      | None -> Head_mismatch
+      | Some s -> (
+        match Unify.unify ~subst:s htime (Term.Int time) with
+        | None -> Head_mismatch
+        | Some s0 ->
+          let rec go subs index = function
+            | [] -> Derivable
+            | lit :: rest -> (
+              match List.concat_map (fun s -> literal_solutions t.d_env s lit) subs with
+              | [] -> Failing { index; literal = lit; grounded = Subst.apply (List.hd subs) lit }
+              | next -> go next (index + 1) rest)
+          in
+          go [ s0 ] 1 r.Ast.body))
+
+  let sd_output_var = function
+    | Term.Compound ("holdsFor", [ _; Term.Var v ])
+    | Term.Compound (("union_all" | "intersect_all"), [ _; Term.Var v ])
+    | Term.Compound ("relative_complement_all", [ _; _; Term.Var v ])
+    | Term.Compound ("intDurGreater", [ _; _; Term.Var v ]) ->
+      Some v
+    | _ -> None
+
+  (* Diagnose a holdsFor rule at [time]. When some solution's head
+     interval covers the point the rule is derivable. Otherwise walk the
+     interval dataflow backwards from the head variable: descend through
+     constructs whose *input* already lacked the point, and stop at the
+     condition where coverage was actually decided — the holdsFor literal
+     that failed to hold there, or, for a relative complement whose base
+     covered the point, the subtracted operand that wrongly held. *)
+  let holds_for_at t (r : Ast.rule) ~head:(fluent, value, ivar) ~fvp:(tf, tv) ~time =
+    match Unify.unify fluent tf with
+    | None -> Head_mismatch
+    | Some s -> (
+      match Unify.unify ~subst:s value tv with
+      | None -> Head_mismatch
+      | Some s0 -> (
+        match ivar with
+        | Term.Var iv -> (
+          match sd_solutions t.d_env r ~trace:false 1 s0 Imap.empty [] r.Ast.body with
+          | Error e -> Unsupported e
+          | Ok sols -> (
+            let covers (_, imap, _) =
+              match Imap.find_opt iv imap with
+              | Some spans -> Interval.mem time spans
+              | None -> false
+            in
+            if List.exists covers sols then Derivable
+            else
+              match sols with
+              | [] ->
+                (* No solution at all: forward walk to the first literal
+                   with no branches. *)
+                let rec fwd states index = function
+                  | [] -> Unsupported "holdsFor body has no solutions"
+                  | lit :: rest -> (
+                    let next =
+                      List.concat_map
+                        (fun (s, imap) ->
+                          match
+                            sd_solutions t.d_env r ~trace:false index s imap [] [ lit ]
+                          with
+                          | Ok l -> List.map (fun (s', imap', _) -> (s', imap')) l
+                          | Error _ -> [])
+                        states
+                    in
+                    match next with
+                    | [] ->
+                      let g =
+                        match states with (s, _) :: _ -> Subst.apply s lit | [] -> lit
+                      in
+                      Failing { index; literal = lit; grounded = g }
+                    | _ -> fwd next (index + 1) rest)
+                in
+                fwd [ (s0, Imap.empty) ] 1 r.Ast.body
+              | (s, imap, _) :: _ ->
+                let indexed = List.mapi (fun i lit -> (i + 1, lit)) r.Ast.body in
+                let binder v =
+                  List.find_opt (fun (_, lit) -> sd_output_var lit = Some v) indexed
+                in
+                let spans_of v =
+                  Option.value ~default:Interval.empty (Imap.find_opt v imap)
+                in
+                let var_of = function Term.Var v -> Some v | _ -> None in
+                let fail index lit =
+                  Failing { index; literal = lit; grounded = Subst.apply s lit }
+                in
+                let rec blame v =
+                  match binder v with
+                  | None ->
+                    Unsupported (Printf.sprintf "interval variable %s has no binder" v)
+                  | Some (index, lit) -> (
+                    match lit with
+                    | Term.Compound ("holdsFor", _) -> fail index lit
+                    | Term.Compound ("union_all", [ ops; _ ]) -> (
+                      match Term.as_list ops with
+                      | Some [ single ] when var_of single <> None ->
+                        blame (Option.get (var_of single))
+                      | _ -> fail index lit)
+                    | Term.Compound ("intersect_all", [ ops; _ ]) -> (
+                      match Term.as_list ops with
+                      | Some elems -> (
+                        match
+                          List.find_opt
+                            (fun e ->
+                              match var_of e with
+                              | Some v' -> not (Interval.mem time (spans_of v'))
+                              | None -> false)
+                            elems
+                        with
+                        | Some e -> blame (Option.get (var_of e))
+                        | None -> fail index lit)
+                      | None -> fail index lit)
+                    | Term.Compound ("relative_complement_all", [ base; ops; _ ]) -> (
+                      match var_of base with
+                      | Some bv when not (Interval.mem time (spans_of bv)) -> blame bv
+                      | _ -> (
+                        match Term.as_list ops with
+                        | Some elems -> (
+                          match
+                            List.find_opt
+                              (fun e ->
+                                match var_of e with
+                                | Some v' -> Interval.mem time (spans_of v')
+                                | None -> false)
+                              elems
+                          with
+                          | Some e -> (
+                            match binder (Option.get (var_of e)) with
+                            | Some (i', l') -> fail i' l'
+                            | None -> fail index lit)
+                          | None -> fail index lit)
+                        | None -> fail index lit))
+                    | Term.Compound ("intDurGreater", [ i; _; _ ]) -> (
+                      match var_of i with
+                      | Some v' when not (Interval.mem time (spans_of v')) -> blame v'
+                      | _ -> fail index lit)
+                    | _ -> fail index lit)
+                in
+                blame iv))
+        | _ -> Unsupported "head interval is not a variable"))
+
+  let rule_at t ~rule ~fvp ~time =
+    match Ast.kind_of_rule rule with
+    | Some (Ast.Initiated { fluent; value; time = ht }) ->
+      transition_at t rule ~head:(fluent, value, ht) ~fvp ~time
+    | Some (Ast.Terminated { fluent; value; time = ht }) ->
+      transition_at t rule ~head:(fluent, value, ht) ~fvp ~time
+    | Some (Ast.Holds_for { fluent; value; interval }) ->
+      holds_for_at t rule ~head:(fluent, value, interval) ~fvp ~time
+    | None -> Unsupported "rule head is not an RTEC rule"
+end

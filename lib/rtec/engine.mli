@@ -53,3 +53,47 @@ val query : result -> Term.t -> (fvp * Interval.t) list
 (** [query result pattern] returns the instances whose FVP unifies with
     the (possibly non-ground) pattern, e.g.
     [withinArea(Vessel, fishing) = true]. *)
+
+(** Negative provenance: why a rule does {e not} derive an FVP at a
+    time-point. A re-evaluation probe over a fully evaluated single-pass
+    environment, used by the FP/FN attribution pipeline in
+    [lib/provenance]; recognition itself never calls it. *)
+module Diagnosis : sig
+  type t
+
+  type outcome =
+    | Derivable  (** the rule derives the FVP at the queried point *)
+    | Head_mismatch  (** the rule's head cannot produce this FVP/time *)
+    | Failing of { index : int; literal : Term.t; grounded : Term.t }
+        (** the first body condition (1-based) with no solution; [grounded]
+            is the literal under the most advanced substitution frontier *)
+    | Unsupported of string
+
+  val prepare :
+    event_description:Ast.t ->
+    knowledge:Knowledge.t ->
+    stream:Stream.t ->
+    unit ->
+    (t, string) Result.t
+  (** Runs single-pass recognition over the stream's full extent and keeps
+      the evaluated environment for probing. Derivation recording is
+      suspended for the internal run. *)
+
+  val result : t -> result
+
+  val indicators : t -> (string * int) list
+  (** Defined fluent indicators, in evaluation-analysis order. *)
+
+  val rules_for : t -> string * int -> (string * Ast.rule) list
+  (** The rules defining an indicator, each with its provenance label (the
+      parser-assigned rule id, or a positional ["name/arity#i"]
+      fallback) — the same labels derivation records use. *)
+
+  val rule_at : t -> rule:Ast.rule -> fvp:fvp -> time:int -> outcome
+  (** Replays [rule] for the ground [fvp] at [time]. For [initiatedAt]/
+      [terminatedAt] rules the time-point is the transition time; for
+      [holdsFor] rules it asks whether the derived interval covers the
+      point, attributing a miss to the body condition where coverage was
+      decided (descending through interval constructs whose inputs already
+      lacked the point). *)
+end

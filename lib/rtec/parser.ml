@@ -138,7 +138,8 @@ let parse_term input =
 
 let parse_clauses input = with_input input parse_program
 
-let parse_definition ~name input = { Ast.name; rules = parse_clauses input }
+let parse_definition ~name input =
+  { Ast.name; rules = Ast.with_ids ~name (parse_clauses input) }
 
 let parse_clauses_result input =
   match parse_clauses input with

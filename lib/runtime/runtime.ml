@@ -7,7 +7,9 @@ module Pool = Pool
 let map_domains ~jobs f items =
   Pool.map ~jobs
     ~around:(fun ~worker thunk ->
-      Telemetry.Metrics.with_local (fun () -> Telemetry.Trace.with_local ~tid:worker thunk))
+      Telemetry.Metrics.with_local (fun () ->
+          Telemetry.Trace.with_local ~tid:worker (fun () ->
+              Rtec.Derivation.with_local thunk)))
     (fun ~worker:_ i item -> f i item)
     items
 
@@ -120,14 +122,16 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
         let outcomes =
           Pool.map ~jobs
             ~around:(fun ~worker thunk ->
-              (* Per-domain telemetry: metrics accumulate locally and
-                 merge into the registry at join; spans land on the
+              (* Per-domain telemetry and provenance: metrics and
+                 derivation records accumulate locally and merge into the
+                 process-global buffers at join; spans land on the
                  worker's own track. The calling domain participates as
                  worker 0 and gets the same treatment — its direct
                  registry writes would race with the other workers'
                  merges. *)
               Telemetry.Metrics.with_local (fun () ->
-                  Telemetry.Trace.with_local ~tid:worker thunk))
+                  Telemetry.Trace.with_local ~tid:worker (fun () ->
+                      Rtec.Derivation.with_local thunk)))
             (fun ~worker:_ i shard ->
               Telemetry.Trace.with_span "runtime.shard"
                 ~args:

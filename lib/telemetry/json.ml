@@ -23,12 +23,18 @@ let escape buf s =
 
 let add_num buf x =
   (* JSON has no NaN/infinity; integral values print without a fraction
-     (counters stay readable and diffable). *)
+     (counters stay readable and diffable). Other finites print with the
+     shortest of %.12g/%.17g that parses back to the same float, so every
+     emitted document round-trips through [of_string] exactly. *)
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then
     Buffer.add_string buf "null"
   else if Float.is_integer x && Float.abs x < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" x)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" x)
+  else begin
+    let short = Printf.sprintf "%.12g" x in
+    if float_of_string short = x then Buffer.add_string buf short
+    else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+  end
 
 let rec add buf ~indent ~level v =
   let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in

@@ -307,3 +307,63 @@ let snapshot_to_json snap =
 
 let to_json () = snapshot_to_json (snapshot ())
 let write file = Json.write_file ~indent:true file (to_json ())
+
+(* --- Prometheus 0.0.4 text exposition ---
+
+   Metric names here are dotted ("window.queries"); Prometheus names admit
+   [a-zA-Z_:][a-zA-Z0-9_:]*, so every other character maps to '_'. The
+   log-scale histograms expose as summaries: the estimated quantiles plus
+   the exact _sum/_count pair. *)
+
+let prom_name name =
+  let sane c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = ':'
+  in
+  let mapped = String.map (fun c -> if sane c then c else '_') name in
+  if mapped = "" || (mapped.[0] >= '0' && mapped.[0] <= '9') then "_" ^ mapped else mapped
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let snapshot_to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let metric name typ lines =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      metric n "counter" [ Printf.sprintf "%s %d" n v ])
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      metric n "gauge" [ Printf.sprintf "%s %s" n (prom_float v) ])
+    snap.gauges;
+  List.iter
+    (fun (name, s) ->
+      let n = prom_name name in
+      metric n "summary"
+        [
+          Printf.sprintf "%s{quantile=\"0.5\"} %s" n (prom_float s.p50);
+          Printf.sprintf "%s{quantile=\"0.9\"} %s" n (prom_float s.p90);
+          Printf.sprintf "%s{quantile=\"0.99\"} %s" n (prom_float s.p99);
+          Printf.sprintf "%s_sum %s" n (prom_float s.sum);
+          Printf.sprintf "%s_count %d" n s.count;
+        ])
+    snap.histograms;
+  Buffer.contents buf
+
+let to_prometheus () = snapshot_to_prometheus (snapshot ())
+
+let write_prometheus file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_prometheus ()))

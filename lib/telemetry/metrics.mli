@@ -76,3 +76,13 @@ val snapshot_to_json : snapshot -> Json.t
 val to_json : unit -> Json.t
 val write : string -> unit
 (** Write the current snapshot as indented JSON to a file. *)
+
+val snapshot_to_prometheus : snapshot -> string
+(** Prometheus 0.0.4 text exposition: counters and gauges verbatim,
+    histograms as summaries (estimated quantiles plus exact _sum/_count).
+    Dotted metric names map to underscores. *)
+
+val to_prometheus : unit -> string
+
+val write_prometheus : string -> unit
+(** Write the current snapshot in Prometheus text format to a file. *)

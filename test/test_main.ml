@@ -16,4 +16,6 @@ let () =
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);
       ("telemetry", Test_telemetry.suite);
+      ("provenance", Test_provenance.suite);
+      ("report", Test_report.suite);
     ]

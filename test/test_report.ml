@@ -1,0 +1,161 @@
+(* Golden tests for the report renderers: the text and JSON forms of the
+   explain (blame-table) report and the figure matrices are compared
+   against fixed expected output, so accidental format drift is caught. *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let render f =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* A small deterministic report, as Detection.explain would produce for a
+   generated description with one over-permissive initiation condition. *)
+let sample_report =
+  let condition =
+    {
+      Provenance.Diff.index = 4;
+      text = "Speed > HcNearCoastMax";
+      grounded = "12.0 > 5.0";
+    }
+  in
+  let fvp =
+    ( Rtec.Term.app "highSpeedNearCoast" [ Rtec.Term.app "v0" [] ],
+      Rtec.Term.app "true" [] )
+  in
+  {
+    Provenance.Diff.attributions =
+      [
+        {
+          Provenance.Diff.activity = ("highSpeedNearCoast", 1);
+          fvp;
+          kind = Provenance.Diff.Fp;
+          span = (100, 200);
+          points = 100;
+          anchor = 99;
+          rule = "gen#23";
+          condition = Some condition;
+          note = "initiated by gen#23 at 99; gold gold#23 fails condition #4 there";
+        };
+      ];
+    rows =
+      [
+        {
+          Provenance.Diff.row_activity = ("highSpeedNearCoast", 1);
+          row_rule = "gen#23";
+          row_condition = Some condition;
+          fp_points = 100;
+          fn_points = 0;
+          fp_spans = 1;
+          fn_spans = 0;
+        };
+      ];
+    activities =
+      [
+        {
+          Provenance.Diff.act = ("highSpeedNearCoast", 1);
+          matched_points = 500;
+          act_fp_points = 100;
+          act_fn_points = 0;
+        };
+        {
+          Provenance.Diff.act = ("anchoredOrMoored", 1);
+          matched_points = 250;
+          act_fp_points = 0;
+          act_fn_points = 0;
+        };
+      ];
+    total_matched = 750;
+    total_fp = 100;
+    total_fn = 0;
+  }
+
+let expected_text =
+  "Explain: gold vs. llm\n\
+   Provenance diff: 750 matched, 100 FP, 0 FN time-points\n\
+   \n\
+   Per-activity:\n\
+  \  highSpeedNearCoast/1             matched      500   fp      100   fn        0\n\
+   \n\
+   Blame table (per rule and condition):\n\
+  \  activity                     rule                         condition                                      fp pts   fn pts\n\
+  \  highSpeedNearCoast/1         gen#23                       #4 Speed > HcNearCoastMax                         100        0\n\
+   \n\
+   Example attributions:\n\
+  \  [FP] highSpeedNearCoast(v0)=true over [100,200): initiated by gen#23 at 99; \
+   gold gold#23 fails condition #4 there\n"
+
+let test_explain_text () =
+  Alcotest.(check string) "explain text rendering" expected_text
+    (render (fun fmt ->
+         Evaluation.Report.explain fmt ~gold_label:"gold" ~generated_label:"llm"
+           sample_report))
+
+let test_explain_json () =
+  let j =
+    Evaluation.Report.explain_json ~gold_label:"gold" ~generated_label:"llm" sample_report
+  in
+  let s = Telemetry.Json.to_string j in
+  (match Telemetry.Json.of_string s with
+  | Error e -> Alcotest.failf "explain JSON does not parse back: %s" e
+  | Ok parsed ->
+    let open Telemetry.Json in
+    let report = Option.get (member "report" parsed) in
+    Alcotest.(check (option string))
+      "schema" (Some "adg-provenance/1")
+      (Option.bind (member "schema" report) str);
+    Alcotest.(check (option (float 0.)))
+      "fp total" (Some 100.)
+      (Option.bind (member "totals" report) (fun t -> Option.bind (member "fp_points" t) num));
+    (match member "blame" report with
+    | Some (List [ row ]) ->
+      Alcotest.(check (option string)) "blamed rule" (Some "gen#23")
+        (Option.bind (member "rule" row) str);
+      Alcotest.(check (option (float 0.)))
+        "condition index" (Some 4.)
+        (Option.bind (member "condition" row) (fun c -> Option.bind (member "index" c) num))
+    | _ -> Alcotest.fail "expected one blame row"));
+  (* the full document is stable *)
+  let expected =
+    "{\"gold\": \"gold\",\"generated\": \"llm\",\"report\": {\"schema\": \
+     \"adg-provenance/1\",\"totals\": {\"matched_points\": 750,\"fp_points\": \
+     100,\"fn_points\": 0},\"activities\": [{\"activity\": \
+     \"highSpeedNearCoast/1\",\"matched_points\": 500,\"fp_points\": \
+     100,\"fn_points\": 0},{\"activity\": \"anchoredOrMoored/1\",\"matched_points\": \
+     250,\"fp_points\": 0,\"fn_points\": 0}],\"blame\": [{\"activity\": \
+     \"highSpeedNearCoast/1\",\"rule\": \"gen#23\",\"condition\": {\"index\": \
+     4,\"text\": \"Speed > HcNearCoastMax\",\"grounded\": \"12.0 > \
+     5.0\"},\"fp_points\": 100,\"fn_points\": 0,\"fp_spans\": 1,\"fn_spans\": \
+     0}],\"attributions\": [{\"fvp\": \"highSpeedNearCoast(v0)=true\",\"kind\": \
+     \"fp\",\"span\": [100,200],\"points\": 100,\"anchor\": 99,\"rule\": \
+     \"gen#23\",\"condition\": {\"index\": 4,\"text\": \"Speed > \
+     HcNearCoastMax\",\"grounded\": \"12.0 > 5.0\"},\"note\": \"initiated by gen#23 \
+     at 99; gold gold#23 fails condition #4 there\"}]}}"
+  in
+  Alcotest.(check string) "explain JSON document" expected s
+
+let test_figure_2c_golden () =
+  let rows =
+    [
+      { Evaluation.Experiments.label = "modelA"; per_activity_f1 = [ ("h", 0.5); ("tw", 1.0) ] };
+      { Evaluation.Experiments.label = "modelB"; per_activity_f1 = [ ("h", 0.25) ] };
+    ]
+  in
+  let out = render (fun fmt -> Evaluation.Report.figure_2c fmt rows) in
+  Alcotest.(check bool) "mentions both models" true
+    (contains ~affix:"modelA" out && contains ~affix:"modelB" out);
+  Alcotest.(check bool) "renders known cells" true
+    (contains ~affix:"0.500" out && contains ~affix:"0.250" out);
+  Alcotest.(check bool) "dashes for missing cells" true (contains ~affix:"-" out)
+
+let suite =
+  [
+    Alcotest.test_case "explain: golden text" `Quick test_explain_text;
+    Alcotest.test_case "explain: golden JSON" `Quick test_explain_json;
+    Alcotest.test_case "figure 2c rendering" `Quick test_figure_2c_golden;
+  ]

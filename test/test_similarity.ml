@@ -331,7 +331,8 @@ let properties =
         let renamed =
           List.map
             (fun (r : Ast.rule) ->
-              { Ast.head = Unify.rename_apart ~suffix:"z" r.head;
+              { r with
+                Ast.head = Unify.rename_apart ~suffix:"z" r.head;
                 body = List.map (Unify.rename_apart ~suffix:"z") r.body })
             d.rules
         in

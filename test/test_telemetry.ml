@@ -269,6 +269,98 @@ let test_recognition_bit_identical () =
   let off_again = recognise () in
   Alcotest.(check bool) "bit-identical after disabling again" true (off = off_again)
 
+(* --- float round-trip: every emitted number parses back exactly --- *)
+
+let test_json_float_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"JSON floats round-trip exactly" ~count:1000
+       QCheck.float (fun x ->
+         match Json.of_string (Json.to_string (Json.Num x)) with
+         | Ok (Json.Num y) ->
+           (* non-finite inputs may not reach here (they render as null) *)
+           Float.is_nan x || Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+         | Ok Json.Null -> Float.is_nan x || Float.abs x = Float.infinity
+         | Ok _ -> false
+         | Error _ -> false))
+
+let test_json_nonfinite () =
+  List.iter
+    (fun x -> Alcotest.(check string) "non-finite is null" "null" (Json.to_string (Json.Num x)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* --- Prometheus text exposition --- *)
+
+let test_metrics_prometheus () =
+  scoped (fun () ->
+      Metrics.incr (Metrics.counter "test.prom_counter") ~by:7;
+      Metrics.set (Metrics.gauge "test.prom-gauge") 2.5;
+      let h = Metrics.histogram "test.prom_histogram" in
+      Metrics.observe h 10.;
+      Metrics.observe h 20.;
+      let text = Metrics.to_prometheus () in
+      let has affix =
+        let n = String.length affix and m = String.length text in
+        let rec go i = i + n <= m && (String.sub text i n = affix || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "counter line" true (has "test_prom_counter 7");
+      Alcotest.(check bool) "counter type" true (has "# TYPE test_prom_counter counter");
+      Alcotest.(check bool) "gauge name sanitised" true (has "test_prom_gauge 2.5");
+      Alcotest.(check bool) "summary sum" true (has "test_prom_histogram_sum 30");
+      Alcotest.(check bool) "summary count" true (has "test_prom_histogram_count 2");
+      Alcotest.(check bool) "summary quantile" true
+        (has "test_prom_histogram{quantile=\"0.5\"}");
+      (* exposition-format sanity: every non-comment line is "name[{labels}] value" *)
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             if line <> "" && line.[0] <> '#' then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "malformed line: %s" line
+               | Some i -> (
+                 match float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+                 | Some _ -> ()
+                 | None -> Alcotest.failf "unparsable value in: %s" line)))
+
+(* --- the CLI flushes telemetry even when recognition dies --- *)
+
+let test_cli_flush_on_failure () =
+  let tmp = Filename.temp_file "adg_trace" ".json" in
+  let ed = Filename.temp_file "adg_cyclic" ".ed" in
+  let stream = Filename.temp_file "adg_stream" ".stream" in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ tmp; ed; stream ])
+    (fun () ->
+      (* mutually recursive holdsFor definitions do not stratify: the run
+         fails after telemetry is enabled, exercising the at_exit flush *)
+      let oc = open_out ed in
+      output_string oc
+        "holdsFor(a(X) = true, I) :- holdsFor(b(X) = true, I).\n\
+         holdsFor(b(X) = true, I) :- holdsFor(a(X) = true, I).\n";
+      close_out oc;
+      let oc = open_out stream in
+      output_string oc "happensAt(e(v0), 1).\n";
+      close_out oc;
+      let cmd =
+        Printf.sprintf "../bin/rtec_cli.exe recognise %s %s --trace %s 2>/dev/null"
+          (Filename.quote ed) (Filename.quote stream) (Filename.quote tmp)
+      in
+      let status = Sys.command cmd in
+      Alcotest.(check bool) "recognition failed as intended" true (status <> 0);
+      let ic = open_in_bin tmp in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string contents with
+      | Error e -> Alcotest.failf "flushed trace is not valid JSON: %s" e
+      | Ok doc -> (
+        match Option.bind (Json.member "traceEvents" doc) Json.list with
+        | Some events ->
+          Alcotest.(check bool) "trace has events despite the failure" true
+            (List.length events > 0)
+        | None -> Alcotest.fail "traceEvents missing from flushed trace"))
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -287,4 +379,8 @@ let suite =
     Alcotest.test_case "metrics snapshot JSON" `Quick test_metrics_json;
     Alcotest.test_case "recognition bit-identical with telemetry on vs. off" `Quick
       test_recognition_bit_identical;
+    test_json_float_roundtrip;
+    Alcotest.test_case "non-finite floats render as null" `Quick test_json_nonfinite;
+    Alcotest.test_case "Prometheus exposition" `Quick test_metrics_prometheus;
+    Alcotest.test_case "CLI flushes telemetry on failure" `Quick test_cli_flush_on_failure;
   ]
