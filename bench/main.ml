@@ -70,6 +70,19 @@ let recognise ~window ~step () =
   | Ok (result, _) -> ignore result
   | Error e -> failwith e
 
+(* The interpreted oracle on the same workload: [compile:false] forces
+   the tree-walking evaluator the compiled closure chains are checked
+   against, so the row pair prices the compilation win directly. *)
+let recognise_interp ~window ~step () =
+  match
+    Runtime.run
+      ~config:(Runtime.config ~window ~step ~compile:false ())
+      ~event_description:Maritime.Gold.event_description
+      ~knowledge:small_dataset.knowledge ~stream:small_dataset.stream ()
+  with
+  | Ok (result, _) -> ignore result
+  | Error e -> failwith e
+
 let recognise_multicore ~jobs () =
   let d = Lazy.force multicore_dataset in
   match
@@ -164,6 +177,11 @@ let tests =
         Test.make ~name:"window-1h-step-30min" (Staged.stage (recognise ~window:3600 ~step:1800));
         Test.make ~name:"window-2h-step-1h" (Staged.stage (recognise ~window:7200 ~step:3600));
         Test.make ~name:"window-4h-step-2h" (Staged.stage (recognise ~window:14400 ~step:7200));
+        (* Interpreted oracle on the headline row: the compiled/interpreted
+           ratio in the trajectory file is the speedup attribution
+           EXPERIMENTS.md quotes. *)
+        Test.make ~name:"window-1h-step-30min-interpreted"
+          (Staged.stage (recognise_interp ~window:3600 ~step:1800));
       ];
     (* Jobs-scaling sweep over the fig2c workload: the same sliding
        window recognised sequentially and on 2 and 4 worker domains.
@@ -191,6 +209,57 @@ let tests =
                 | Ok _ -> ()
                 | Error e -> failwith e)));
       ];
+    (* Compiled vs interpreted on the cheap fleet workload: the row pair
+       runs in the smoke suite, so every CI pass re-measures the
+       compilation win on a workload light enough for the quota. Rows
+       are bit-identical in output (the differential suite enforces it);
+       the delta is pure evaluator cost. *)
+    (let stream, knowledge = Fleet.generate () in
+     let ed = Domain.event_description Fleet.domain in
+     let run ~compile () =
+       match
+         Runtime.run
+           ~config:(Runtime.config ~window:3600 ~step:1800 ~compile ())
+           ~event_description:ed ~knowledge ~stream ()
+       with
+       | Ok _ -> ()
+       | Error e -> failwith e
+     in
+     Test.make_grouped ~name:"compiled-vs-interpreted"
+       [
+         Test.make ~name:"fleet-window-1h-compiled" (Staged.stage (run ~compile:true));
+         Test.make ~name:"fleet-window-1h-interpreted" (Staged.stage (run ~compile:false));
+       ]);
+    (* Batched-arrival assembly: the fig2c stream re-assembled from
+       per-hour batches through [Stream.of_batches] — the ingestion path
+       a chunked front-end takes (rtec_cli with several STREAM files,
+       ROADMAP item 2's service). Prices the instrumented [Stream.append]
+       fold and keeps the [stream.appends] counter live in the committed
+       metrics snapshot. *)
+    (let hourly_batches =
+       let by_hour = Hashtbl.create 32 in
+       List.iter
+         (fun (e : Rtec.Stream.event) ->
+           let h = e.time / 3600 in
+           let prev = try Hashtbl.find by_hour h with Not_found -> [] in
+           Hashtbl.replace by_hour h (e :: prev))
+         (Rtec.Stream.events small_dataset.stream);
+       let hours =
+         List.sort compare (Hashtbl.fold (fun h _ acc -> h :: acc) by_hour [])
+       in
+       List.mapi
+         (fun i h ->
+           Rtec.Stream.make
+             ~input_fluents:
+               (if i = 0 then Rtec.Stream.input_fluents small_dataset.stream else [])
+             (List.rev (Hashtbl.find by_hour h)))
+         hours
+     in
+     Test.make_grouped ~name:"stream-assembly"
+       [
+         Test.make ~name:"of-batches-hourly"
+           (Staged.stage (fun () -> ignore (Rtec.Stream.of_batches hourly_batches)));
+       ]);
     (* Derivation-recorder overhead on the fleet sliding-window workload:
        the recorder-off row measures the gated (production-default) path —
        a single branch per probe site, held to the same 2% drift budget as
@@ -261,6 +330,8 @@ let smoke_tests ~jobs =
           "interval";
           "assignment";
           "fleet-domain";
+          "compiled-vs-interpreted";
+          "stream-assembly";
           "provenance-overhead";
           "similarity-fig2a-2b-kernel";
           "similarity-sweep";
@@ -328,6 +399,73 @@ let benchmark_min ~smoke ~repeat ~jobs =
       | None -> Format.printf "%-60s %16s@." name "n/a")
     rows;
   rows
+
+(* Single-shot allocation attribution. Bechamel prices time; this pass
+   prices memory: each fixed workload runs exactly once between
+   [Gc.quick_stat] readings (after a compaction, so a previous row's
+   heap shape cannot leak into the delta), and the deltas land in the
+   metrics snapshot as gauges — so the trajectory file carries the
+   allocation story (`bench.gc.minor_words/...`) next to the timings it
+   explains. The compiled/interpreted pairs quantify the hot-path
+   allocation cut of the rule compiler; the gate below holds it. *)
+let gc_rows () =
+  let fleet_stream, fleet_knowledge = Fleet.generate () in
+  let fleet_ed = Domain.event_description Fleet.domain in
+  let fleet ~compile () =
+    match
+      Runtime.run
+        ~config:(Runtime.config ~window:3600 ~step:1800 ~compile ())
+        ~event_description:fleet_ed ~knowledge:fleet_knowledge ~stream:fleet_stream ()
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  [
+    ("fig2c-window-1h-compiled", recognise ~window:3600 ~step:1800);
+    ("fig2c-window-1h-interpreted", recognise_interp ~window:3600 ~step:1800);
+    ("fleet-window-1h-compiled", fleet ~compile:true);
+    ("fleet-window-1h-interpreted", fleet ~compile:false);
+  ]
+
+let sample_gc () =
+  Format.printf "==============================================================@.";
+  Format.printf "GC attribution (single shot per row)@.";
+  Format.printf "==============================================================@.";
+  let compiled_hit = Telemetry.Metrics.counter "engine.compiled.hit" in
+  let compiled_miss = Telemetry.Metrics.counter "engine.compiled.miss" in
+  let hit0 = Telemetry.Metrics.value compiled_hit in
+  let miss0 = Telemetry.Metrics.value compiled_miss in
+  List.iter
+    (fun (name, run) ->
+      Gc.compact ();
+      let s0 = Gc.quick_stat () in
+      run ();
+      let s1 = Gc.quick_stat () in
+      let minor = s1.Gc.minor_words -. s0.Gc.minor_words in
+      let majors = s1.Gc.major_collections - s0.Gc.major_collections in
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge ("bench.gc.minor_words/" ^ name))
+        minor;
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge ("bench.gc.major_collections/" ^ name))
+        (float_of_int majors);
+      Format.printf "%-42s %14.0f minor words  %4d major collections@." name minor majors)
+    (gc_rows ());
+  (* The compiled-cache counter deltas over exactly this pass — the same
+     fixed workloads whichever suite ran before it — give the fallback
+     share of transition-rule evaluations: 0 when every rule compiled, 1
+     when compilation is dead. Process-wide totals would mix whatever
+     suite (smoke or full) preceded, making the rate incomparable to a
+     baseline recorded by the other one. Recorded as a gauge so the gate
+     can hold it against the committed baseline. *)
+  let hit = Telemetry.Metrics.value compiled_hit - hit0 in
+  let miss = Telemetry.Metrics.value compiled_miss - miss0 in
+  if hit + miss > 0 then begin
+    let rate = float_of_int miss /. float_of_int (hit + miss) in
+    Telemetry.Metrics.set (Telemetry.Metrics.gauge "bench.gate.compiled_miss_rate") rate;
+    Format.printf "compiled-rule evaluations: %d compiled, %d fallback (miss rate %.4f)@."
+      hit miss rate
+  end
 
 (* Machine-readable trajectory point: benchmark name -> ns/run estimate
    (null when the OLS fit failed), plus a metrics snapshot when metric
@@ -524,14 +662,98 @@ let check_against_baseline ~baseline ~tolerance rows =
   end
   else Format.printf "overhead check: within tolerance@."
 
+(* Allocation/compilation-efficacy gate: the current metrics snapshot —
+   the GC gauges from {!sample_gc} and the compiled-cache miss-rate
+   gauge — must stay close to the committed baseline. Two failure modes
+   are held separately: (a) the hot path re-growing allocations the
+   compiler removed (per-row minor words > 1.25x baseline — loose
+   enough that a workload tweak doesn't trip it, tight enough that
+   losing the compiled path's 10x-plus cut cannot pass), and (b) rules
+   silently dropping out of compilation (fallback share of
+   transition-rule evaluations > baseline + 2 points). Unlike the
+   timing gate, these measures are iteration-exact, so no drift
+   normalisation is needed. *)
+let check_gate ~baseline =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base_gauges =
+    match Telemetry.Json.of_string (read_file baseline) with
+    | Error e ->
+      Printf.eprintf "cannot parse gate baseline %s: %s\n" baseline e;
+      exit 2
+    | Ok doc -> (
+      match
+        Option.bind
+          (Option.bind (Telemetry.Json.member "metrics" doc)
+             (Telemetry.Json.member "gauges"))
+          Telemetry.Json.obj
+      with
+      | Some fields ->
+        List.filter_map
+          (fun (name, v) -> Option.map (fun x -> (name, x)) (Telemetry.Json.num v))
+          fields
+      | None ->
+        Printf.eprintf "gate baseline %s has no metrics.gauges member\n" baseline;
+        exit 2)
+  in
+  let snap = Telemetry.Metrics.snapshot () in
+  Format.printf "==============================================================@.";
+  Format.printf "Bench gate vs %s (allocations, compiled-cache)@." baseline;
+  Format.printf "==============================================================@.";
+  let failures = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, current) ->
+      if String.starts_with ~prefix:"bench.gc.minor_words/" name then
+        match List.assoc_opt name base_gauges with
+        | Some base when base > 0. ->
+          incr compared;
+          let ratio = current /. base in
+          let ok = ratio <= 1.25 in
+          if not ok then incr failures;
+          Format.printf "%-52s %14.0f -> %14.0f  x%.2f %s@." name base current ratio
+            (if ok then "" else "FAIL (> x1.25)")
+        | _ -> Format.printf "%-52s %31.0f  (no baseline, skipped)@." name current)
+    snap.Telemetry.Metrics.gauges;
+  (match
+     ( List.assoc_opt "bench.gate.compiled_miss_rate" snap.Telemetry.Metrics.gauges,
+       List.assoc_opt "bench.gate.compiled_miss_rate" base_gauges )
+   with
+   | Some current, Some base ->
+     incr compared;
+     let ok = current <= base +. 0.02 in
+     if not ok then incr failures;
+     Format.printf "%-52s %14.4f -> %14.4f       %s@." "bench.gate.compiled_miss_rate" base
+       current
+       (if ok then "" else "FAIL (> baseline + 0.02)")
+   | Some current, None ->
+     Format.printf "%-52s %31.4f  (no baseline, skipped)@." "bench.gate.compiled_miss_rate"
+       current
+   | None, _ -> ());
+  if !compared = 0 then begin
+    Printf.eprintf "bench gate: no gauge shared with the baseline\n";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "bench gate: %d gauge(s) regressed\n" !failures;
+    exit 1
+  end
+  else Format.printf "bench gate: within bounds@."
+
 let usage =
   "usage: main.exe [--smoke] [--jobs N] [--repeat N] [--json FILE] [--merge]\n\
-  \       [--trace FILE] [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n"
+  \       [--trace FILE] [--metrics FILE] [--check BASELINE] [--tolerance FRACTION]\n\
+  \       [--gate BASELINE]\n"
 
 let () =
   let json_file = ref None and smoke = ref false and merge = ref false in
   let trace_file = ref None and metrics_file = ref None in
   let check_file = ref None and tolerance = ref 0.02 and repeat = ref 1 in
+  let gate_file = ref None in
   let jobs = ref 2 in
   let rec parse = function
     | [] -> ()
@@ -546,6 +768,9 @@ let () =
       parse rest
     | "--check" :: file :: rest ->
       check_file := Some file;
+      parse rest
+    | "--gate" :: file :: rest ->
+      gate_file := Some file;
       parse rest
     | "--tolerance" :: x :: rest -> (
       match float_of_string_opt x with
@@ -596,17 +821,26 @@ let () =
         file)
     [ ("--json", !json_file); ("--trace", !trace_file); ("--metrics", !metrics_file) ];
   (* An unreadable baseline should also fail before the sweep. *)
-  Option.iter
-    (fun file ->
-      if not (Sys.file_exists file) then begin
-        Printf.eprintf "cannot read --check baseline: %s\n" file;
-        exit 2
-      end)
-    !check_file;
+  List.iter
+    (fun (flag, file) ->
+      Option.iter
+        (fun file ->
+          if not (Sys.file_exists file) then begin
+            Printf.eprintf "cannot read %s baseline: %s\n" flag file;
+            exit 2
+          end)
+        file)
+    [ ("--check", !check_file); ("--gate", !gate_file) ];
   if Option.is_some !trace_file then Telemetry.Trace.enable ();
-  if Option.is_some !metrics_file then Telemetry.Metrics.enable ();
+  (* The gate reads GC gauges and compiled-cache counters, so it implies
+     metric collection even without a --metrics output file. *)
+  if Option.is_some !metrics_file || Option.is_some !gate_file then
+    Telemetry.Metrics.enable ();
   if not !smoke then print_figures ();
   let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat ~jobs:!jobs in
+  (* Before the JSON writers run, so the gauges land in the snapshot the
+     trajectory file and the --metrics artifact embed. *)
+  if Telemetry.Metrics.is_enabled () then sample_gc ();
   Option.iter (fun file -> write_json ~merge:!merge file rows) !json_file;
   Option.iter
     (fun file ->
@@ -622,4 +856,5 @@ let () =
     !trace_file;
   Option.iter
     (fun baseline -> check_against_baseline ~baseline ~tolerance:!tolerance rows)
-    !check_file
+    !check_file;
+  Option.iter (fun baseline -> check_gate ~baseline) !gate_file

@@ -119,7 +119,12 @@ let recognise_cmd =
   let ed_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENT_DESCRIPTION")
   in
-  let stream_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"STREAM") in
+  (* One or more stream files: batches arriving separately (per-day
+     dumps, per-source feeds) are folded into a single ordered stream
+     with [Stream.of_batches] — each fold step is an instrumented
+     [Stream.append], so the telemetry snapshot reports how the input
+     was assembled (stream.appends, stream.append_events). *)
+  let stream_arg = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"STREAM") in
   let kb_arg =
     Arg.(value & opt (some file) None & info [ "knowledge"; "k" ] ~docv:"FILE"
            ~doc:"Background knowledge facts.")
@@ -146,8 +151,14 @@ let recognise_cmd =
            ~doc:"Shard-count override (defaults to --jobs); more shards than \
                  jobs gives finer load balancing.")
   in
-  let run ed_file stream_file kb_file window step jobs shards fluent trace metrics
-      metrics_format =
+  let interpret_arg =
+    Arg.(value & flag & info [ "interpret" ]
+           ~doc:"Skip rule compilation and run the tree-walking evaluator — the \
+                 differential oracle. The result is bit-identical to the default \
+                 compiled run.")
+  in
+  let run ed_file stream_files kb_file window step jobs shards fluent interpret trace
+      metrics metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
     match Rtec.Parser.parse_clauses_result (read_file ed_file) with
     | Error e ->
@@ -160,8 +171,11 @@ let recognise_cmd =
         | None -> Rtec.Knowledge.empty
         | Some f -> Rtec.Knowledge.of_source (read_file f)
       in
-      let stream = Rtec.Io.stream_of_string (read_file stream_file) in
-      let config = Runtime.config ?window ?step ~jobs ?shards () in
+      let stream =
+        Rtec.Stream.of_batches
+          (List.map (fun f -> Rtec.Io.stream_of_string (read_file f)) stream_files)
+      in
+      let config = Runtime.config ?window ?step ~jobs ?shards ~compile:(not interpret) () in
       match Runtime.run ~config ~event_description:ed ~knowledge ~stream () with
       | Error e ->
         Printf.eprintf "recognition failed: %s\n" e;
@@ -187,10 +201,12 @@ let recognise_cmd =
   in
   Cmd.v
     (Cmd.info "recognise"
-       ~doc:"Run the engine over a stream file and print maximal intervals.")
+       ~doc:"Run the engine over one or more stream files (appended in argument \
+             order) and print maximal intervals.")
     Term.(
       const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ jobs_arg
-      $ shards_arg $ fluent_arg $ trace_arg $ metrics_arg $ metrics_format_arg)
+      $ shards_arg $ fluent_arg $ interpret_arg $ trace_arg $ metrics_arg
+      $ metrics_format_arg)
 
 (* --- explain --- *)
 

@@ -24,6 +24,12 @@
 # in-process with the heavy fig2c workloads, and each process adds its
 # own placement noise, either of which would poison the gate's drift
 # normalisation.
+#
+# The smoke run also carries the allocation/compilation gate (--gate in
+# bench/dune): single-shot GC gauges per recognition workload and the
+# compiled-cache miss rate must stay within fixed bounds of the
+# committed baseline (minor words <= 1.25x, miss rate <= baseline +
+# 0.02) — iteration-exact measures, so no drift normalisation applies.
 set -eu
 
 dune build

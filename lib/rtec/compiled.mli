@@ -1,0 +1,59 @@
+(** Rule compilation: transition rules as closure chains over interned
+    ground terms.
+
+    [compile] specialises every [initiatedAt]/[terminatedAt] rule of an
+    event description against a fixed stream and knowledge base:
+    candidate events and facts are pre-interned into flat per-indicator
+    tables, pattern matching becomes integer comparison on {!Intern}
+    ids, numeric guards read unboxed floats, and [holdsAt] probes hit
+    the int-keyed engine cache through a callback. A compiled chain
+    explores exactly the search tree the interpreter would (same
+    candidate order, same depth-first backtracking), so recognition
+    results — and the engine's hit/miss/rule-evaluation counters — are
+    bit-identical.
+
+    The compiler is deliberately partial: rule shapes outside the
+    analysed fragment (unbound probe arguments, [=] unification
+    literals, non-ground heads such as termination patterns, non-simple
+    event/time terms) are marked {!Interpreted} and the engine falls
+    back to the interpreter for those rules only.
+
+    A program's closure frames are mutable and unsynchronised: a program
+    belongs to one domain. Each runtime shard compiles its own. *)
+
+type compiled_rule
+
+type rule_code = Compiled of compiled_rule | Interpreted
+
+type program
+
+val compile :
+  event_description:Ast.t -> knowledge:Knowledge.t -> stream:Stream.t -> unit -> program
+(** Compile every transition rule of each simple fluent. Never fails:
+    uncompilable rules are recorded as {!Interpreted}. *)
+
+val intern : program -> Intern.t
+(** The program's intern table. The engine shares it with its cache so
+    fvp ids baked into closures address cache entries directly. *)
+
+val rule_code : program -> ind:string * int -> index:int -> rule_code option
+(** Code for the [index]-th rule (in [Dependency.info] order) of a
+    fluent indicator; [None] for indicators unknown to the program. *)
+
+val stats : program -> int * int
+(** [(compiled, fallback)] rule counts. *)
+
+val run_rule :
+  compiled_rule ->
+  from:int ->
+  until:int ->
+  probe:(int -> int -> bool) ->
+  miss:(unit -> unit) ->
+  emit:(int -> int -> unit) ->
+  unit
+(** Fire a compiled chain over the window [\[from, until\]]. [probe fvp t]
+    answers ground [holdsAt] queries against the cache; [miss] is called
+    when a probe's fluent term was never interned (a guaranteed cache
+    miss, counted by the engine); [emit fvp t] receives each derived
+    ground transition point, possibly with duplicates — exactly the
+    solution multiset the interpreter derives. *)

@@ -10,60 +10,65 @@ type result = (fvp * Interval.t) list
 let m_cache_hit = Telemetry.Metrics.counter "engine.cache.hit"
 let m_cache_miss = Telemetry.Metrics.counter "engine.cache.miss"
 let m_rule_evals = Telemetry.Metrics.counter "engine.rule_evaluations"
+let m_compiled_hit = Telemetry.Metrics.counter "engine.compiled.hit"
+let m_compiled_miss = Telemetry.Metrics.counter "engine.compiled.miss"
 
 module Cache = struct
   (* Maximal intervals of every ground FVP computed so far: the engine's
-     bottom-up cache. Two-level index — indicator to per-FVP hashtable —
-     so both [lookup] and [entries] avoid scanning association lists. Each
-     indicator also keeps its FVPs in insertion order for deterministic
-     enumeration. *)
+     bottom-up cache, keyed by interned FVP id so lookups are a single
+     int-keyed hashtable probe instead of structural term hashing. Each
+     indicator keeps its FVP ids in insertion order for deterministic
+     enumeration (the compiled and interpreted paths perform the same
+     [add] sequence, so result order is identical either way). *)
 
-  module H = Hashtbl.Make (struct
-    type t = fvp
+  type t = {
+    intern : Intern.t;
+    spans : (int, Interval.t) Hashtbl.t;  (* fvp id -> intervals *)
+    by_indicator : (string * int, int list ref) Hashtbl.t;  (* reverse insertion order *)
+  }
 
-    let equal (f1, v1) (f2, v2) = Term.equal f1 f2 && Term.equal v1 v2
-    let hash (f, v) = (Term.hash f * 31) + Term.hash v
-  end)
+  let create ?intern () =
+    let intern = match intern with Some i -> i | None -> Intern.create () in
+    { intern; spans = Hashtbl.create 256; by_indicator = Hashtbl.create 64 }
 
-  type entry = { by_fvp : Interval.t H.t; mutable rev_order : fvp list }
-  type t = { by_indicator : (string * int, entry) Hashtbl.t }
+  let intern t = t.intern
 
-  let create () = { by_indicator = Hashtbl.create 64 }
-
-  let entries_of e = List.rev_map (fun fv -> (fv, H.find e.by_fvp fv)) e.rev_order
+  let entries_of t ids =
+    List.rev_map (fun id -> (Intern.fvp_terms t.intern id, Hashtbl.find t.spans id)) ids
 
   let entries t ind =
     match Hashtbl.find_opt t.by_indicator ind with
     | None -> []
-    | Some e -> entries_of e
+    | Some r -> entries_of t !r
 
-  let add t ((fluent, _) as fv) spans =
-    let ind = Term.indicator fluent in
-    let e =
-      match Hashtbl.find_opt t.by_indicator ind with
-      | Some e -> e
-      | None ->
-        let e = { by_fvp = H.create 16; rev_order = [] } in
-        Hashtbl.replace t.by_indicator ind e;
-        e
-    in
-    match H.find_opt e.by_fvp fv with
+  let add_id t ~ind id spans =
+    match Hashtbl.find_opt t.spans id with
     | None ->
-      H.replace e.by_fvp fv spans;
-      e.rev_order <- fv :: e.rev_order
-    | Some old -> H.replace e.by_fvp fv (Interval.union old spans)
+      Hashtbl.replace t.spans id spans;
+      (match Hashtbl.find_opt t.by_indicator ind with
+      | None -> Hashtbl.replace t.by_indicator ind (ref [ id ])
+      | Some r -> r := id :: !r)
+    | Some old -> Hashtbl.replace t.spans id (Interval.union old spans)
 
-  let lookup t ((fluent, _) as fv) =
+  let add t (fluent, value) spans =
+    let id = Intern.fvp_of_terms t.intern fluent value in
+    add_id t ~ind:(Term.indicator fluent) id spans
+
+  (* Uncounted probe by interned id: the compiled evaluator charges the
+     hit/miss counters itself (so counts match the interpreter exactly). *)
+  let lookup_id t id = Hashtbl.find_opt t.spans id
+
+  let lookup t (fluent, value) =
     let found =
-      match Hashtbl.find_opt t.by_indicator (Term.indicator fluent) with
+      match Intern.find_fvp_terms t.intern fluent value with
       | None -> None
-      | Some e -> H.find_opt e.by_fvp fv
+      | Some id -> Hashtbl.find_opt t.spans id
     in
     Telemetry.Metrics.incr (match found with Some _ -> m_cache_hit | None -> m_cache_miss);
     found
 
   let to_result t =
-    Hashtbl.fold (fun _ e acc -> List.rev_append (entries_of e) acc) t.by_indicator []
+    Hashtbl.fold (fun _ r acc -> List.rev_append (entries_of t !r) acc) t.by_indicator []
 end
 
 type env = {
@@ -547,6 +552,140 @@ let evaluate_simple env ~ind ~carry (rules : Ast.rule list) =
       end)
     all_fvps
 
+(* Growable int buffer for transition-point accumulation (OCaml 5.1 has
+   no Dynarray): flat scratch storage the interval kernel consumes
+   directly, in place of per-cons list cells. *)
+type ivec = { mutable buf : int array; mutable len : int }
+
+let ivec_make () = { buf = Array.make 8 0; len = 0 }
+
+let ivec_push v x =
+  if v.len = Array.length v.buf then begin
+    let b = Array.make (2 * v.len) 0 in
+    Array.blit v.buf 0 b 0 v.len;
+    v.buf <- b
+  end;
+  v.buf.(v.len) <- x;
+  v.len <- v.len + 1
+
+let ivec_append dst (src : ivec) =
+  for k = 0 to src.len - 1 do
+    ivec_push dst src.buf.(k)
+  done
+
+let ivec_array v = Array.sub v.buf 0 v.len
+
+(* Compiled counterpart of [evaluate_simple]: transition points accrue
+   into int-keyed tables of flat buffers, compiled rules run their
+   closure chains, and rules the compiler could not handle fall back to
+   [transition_points] — feeding the same accumulators, so the resulting
+   cache content (and [Cache.add] order, hence result order) is
+   bit-identical to the interpreter's. Only entered when the derivation
+   recorder is off; the recorder's trace hooks live on the interpreted
+   path, which stays authoritative for explainability runs. *)
+let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
+    (rules : Ast.rule list) =
+  let intern = Cache.intern env.cache in
+  let inits : (int, ivec) Hashtbl.t = Hashtbl.create 32 in
+  let terms : (int, ivec) Hashtbl.t = Hashtbl.create 32 in
+  let term_patterns = ref [] in
+  let record tbl id t =
+    match Hashtbl.find_opt tbl id with
+    | Some v -> ivec_push v t
+    | None ->
+      let v = ivec_make () in
+      ivec_push v t;
+      Hashtbl.replace tbl id v
+  in
+  let probe id t =
+    match Cache.lookup_id env.cache id with
+    | Some spans ->
+      Telemetry.Metrics.incr m_cache_hit;
+      Interval.mem t spans
+    | None ->
+      Telemetry.Metrics.incr m_cache_miss;
+      false
+  in
+  let miss () = Telemetry.Metrics.incr m_cache_miss in
+  let emit_init id t = record inits id t in
+  let emit_term id t = record terms id t in
+  List.iteri
+    (fun i r ->
+      match Ast.kind_of_rule r with
+      | Some (Ast.Initiated { fluent; value; time }) -> (
+        match Compiled.rule_code prog ~ind ~index:i with
+        | Some (Compiled.Compiled cr) ->
+          Telemetry.Metrics.incr m_rule_evals;
+          Telemetry.Metrics.incr m_compiled_hit;
+          Compiled.run_rule cr ~from:env.from ~until:env.until ~probe ~miss
+            ~emit:emit_init
+        | _ ->
+          Telemetry.Metrics.incr m_compiled_miss;
+          List.iter
+            (fun ((f, v), t) -> record inits (Intern.fvp_of_terms intern f v) t)
+            (transition_points env ~label:(rule_label ind i r) ~kind:Derivation.Init r
+               ~fluent ~value ~time ~require_ground:true))
+      | Some (Ast.Terminated { fluent; value; time }) -> (
+        match Compiled.rule_code prog ~ind ~index:i with
+        | Some (Compiled.Compiled cr) ->
+          Telemetry.Metrics.incr m_rule_evals;
+          Telemetry.Metrics.incr m_compiled_hit;
+          Compiled.run_rule cr ~from:env.from ~until:env.until ~probe ~miss
+            ~emit:emit_term
+        | _ ->
+          Telemetry.Metrics.incr m_compiled_miss;
+          let label = rule_label ind i r in
+          List.iter
+            (fun (((f, v) as fv), t) ->
+              if Term.is_ground f && Term.is_ground v then
+                record terms (Intern.fvp_of_terms intern f v) t
+              else term_patterns := ((fv, t), label) :: !term_patterns)
+            (transition_points env ~label ~kind:Derivation.Term r ~fluent ~value ~time
+               ~require_ground:false))
+      | _ -> ())
+    rules;
+  List.iter
+    (fun ((f, v), _origin) -> record inits (Intern.fvp_of_terms intern f v) (env.from - 1))
+    carry;
+  let all = Hashtbl.create 32 in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace all id ()) inits;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace all id ()) terms;
+  let fvps =
+    Hashtbl.fold (fun id () acc -> (Intern.fvp_terms intern id, id) :: acc) all []
+    |> List.sort (fun ((a : fvp), _) (b, _) -> compare_fvp a b)
+  in
+  List.iter
+    (fun ((fluent, value), id) ->
+      match Hashtbl.find_opt inits id with
+      | None -> ()
+      | Some starts ->
+        let stop_buf = ivec_make () in
+        (match Hashtbl.find_opt terms id with
+        | Some v -> ivec_append stop_buf v
+        | None -> ());
+        List.iter
+          (fun (((pf, pv), t), _label) ->
+            match Unify.unify pf fluent with
+            | Some s when Option.is_some (Unify.unify ~subst:s pv value) ->
+              ivec_push stop_buf t
+            | _ -> ())
+          !term_patterns;
+        (* The initiation of a different value of the same fluent
+           terminates the current value. *)
+        let fid = Intern.fvp_fluent_id intern id in
+        Hashtbl.iter
+          (fun id' v ->
+            if id' <> id && Intern.fvp_fluent_id intern id' = fid then
+              ivec_append stop_buf v)
+          inits;
+        let spans =
+          Interval.from_point_arrays ~starts:(ivec_array starts)
+            ~stops:(ivec_array stop_buf)
+        in
+        if not (Interval.is_empty spans) then
+          Cache.add_id env.cache ~ind:(Term.indicator fluent) id spans)
+    fvps
+
 let evaluate_sd env ~ind (rules : Ast.rule list) =
   let results = ref FvpMap.empty in
   let skipped = ref [] in
@@ -614,10 +753,11 @@ type prepared = {
   p_deps : Dependency.t;
   p_order : (string * int) list;
   p_carry : (fvp * string) list;  (* fvp, origin ("carry" | "initially") *)
+  p_compiled : Compiled.program option;
 }
 
-let prepare_run ?(carry = []) ?(universe = []) ?input_from ~event_description ~knowledge
-    ~stream ~from ~until () =
+let prepare_run ?(carry = []) ?(universe = []) ?input_from ?compiled ~event_description
+    ~knowledge ~stream ~from ~until () =
   let deps = Dependency.analyse event_description in
   match Dependency.evaluation_order deps with
   | Error e -> Result.Error e
@@ -636,7 +776,9 @@ let prepare_run ?(carry = []) ?(universe = []) ?input_from ~event_description ~k
       if from <= lo then List.map (fun fv -> (fv, "initially")) (initial_fvps event_description)
       else []
     in
-    let cache = Cache.create () in
+    (* A compiled program shares its intern table with the cache, so the
+       fvp ids baked into rule closures address cache slots directly. *)
+    let cache = Cache.create ?intern:(Option.map Compiled.intern compiled) () in
     (* Input statically determined fluents are available from the start,
        restricted to the window. *)
     List.iter
@@ -659,7 +801,7 @@ let prepare_run ?(carry = []) ?(universe = []) ?input_from ~event_description ~k
         | Some r -> r := fv :: !r)
       universe;
     let env = { stream; knowledge; cache; from; until; universe = universe_tbl } in
-    Ok { p_env = env; p_deps = deps; p_order = order; p_carry = carry }
+    Ok { p_env = env; p_deps = deps; p_order = order; p_carry = carry; p_compiled = compiled }
 
 let evaluate_prepared p =
   let rec evaluate = function
@@ -677,7 +819,12 @@ let evaluate_prepared p =
           let carry_here =
             List.filter (fun ((f, _), _) -> Term.indicator f = ind) p.p_carry
           in
-          evaluate_simple p.p_env ~ind ~carry:carry_here info.rules;
+          (* Derivation recording needs the interpreter's trace hooks;
+             everything else runs the compiled chains when available. *)
+          (match p.p_compiled with
+          | Some prog when not (Derivation.is_enabled ()) ->
+            evaluate_simple_compiled p.p_env prog ~ind ~carry:carry_here info.rules
+          | _ -> evaluate_simple p.p_env ~ind ~carry:carry_here info.rules);
           evaluate rest
         | Dependency.Statically_determined -> (
           match evaluate_sd p.p_env ~ind info.rules with
@@ -686,10 +833,11 @@ let evaluate_prepared p =
   in
   evaluate p.p_order
 
-let run ?carry ?universe ?input_from ~event_description ~knowledge ~stream ~from ~until () =
+let run ?carry ?universe ?input_from ?compiled ~event_description ~knowledge ~stream ~from
+    ~until () =
   Result.bind
-    (prepare_run ?carry ?universe ?input_from ~event_description ~knowledge ~stream ~from
-       ~until ())
+    (prepare_run ?carry ?universe ?input_from ?compiled ~event_description ~knowledge
+       ~stream ~from ~until ())
     (fun p ->
       Result.map (fun () -> Cache.to_result p.p_env.cache) (evaluate_prepared p))
 

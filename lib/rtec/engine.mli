@@ -22,6 +22,7 @@ val run :
   ?carry:fvp list ->
   ?universe:fvp list ->
   ?input_from:int ->
+  ?compiled:Compiled.program ->
   event_description:Ast.t ->
   knowledge:Knowledge.t ->
   stream:Stream.t ->
@@ -42,7 +43,13 @@ val run :
     is only the step delta of a larger window. When the window reaches the
     start of the stream, ground [initially(F=V)] facts of the event
     description are added to the carry. Fails when the description is not
-    stratified or a fluent mixes rule kinds. *)
+    stratified or a fluent mixes rule kinds.
+
+    [compiled] is a rule program from {!Compiled.compile} (for this event
+    description, knowledge base and stream): transition rules then run as
+    closure chains over interned terms, with bit-identical results. It is
+    ignored — the interpreter runs instead — while derivation recording
+    is enabled, whose trace hooks live on the interpreted path. *)
 
 val holds_at : result -> fvp -> int -> bool
 val intervals : result -> fvp -> Interval.t

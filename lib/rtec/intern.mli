@@ -1,0 +1,44 @@
+(** Hash-consed ground terms and fluent-value pairs with dense int ids.
+
+    The compiled evaluation layer ({!Compiled}, and the int-keyed
+    [Engine.Cache]) replaces structural term comparison with integer
+    equality: interning maps each distinct ground {!Term.t} to a dense
+    id, and each (fluent, value) pair of ids to a dense FVP id.
+
+    Invariants the compiler relies on:
+    - ids are assigned densely in first-interning order and are {e
+      never} invalidated or reused — the table only grows, so ids baked
+      into compiled closures stay valid for every later window;
+    - interning is injective on ground terms up to {!Term.equal}:
+      [id_of_term t a = id_of_term t b] iff [Term.equal a b];
+    - {!term_of_id} returns the first term interned under that id, so
+      round-tripping preserves structural equality. *)
+
+type t
+
+val create : unit -> t
+
+val id_of_term : t -> Term.t -> int
+(** Intern (creating the id on first sight). Intended for ground terms;
+    non-ground terms intern fine but compare structurally, variable
+    names included. *)
+
+val find_term : t -> Term.t -> int option
+(** Non-creating lookup: [None] when the term was never interned. *)
+
+val term_of_id : t -> int -> Term.t
+val term_count : t -> int
+
+val fvp_id : t -> fluent:int -> value:int -> int
+(** Intern a fluent-value pair of already-interned term ids. *)
+
+val find_fvp : t -> fluent:int -> value:int -> int option
+val fvp_of_terms : t -> Term.t -> Term.t -> int
+val find_fvp_terms : t -> Term.t -> Term.t -> int option
+val fvp_terms : t -> int -> Term.t * Term.t
+(** The canonical term pair of an FVP id (allocated once at interning
+    time; repeated calls return the same physical pair). *)
+
+val fvp_fluent_id : t -> int -> int
+val fvp_value_id : t -> int -> int
+val fvp_count : t -> int

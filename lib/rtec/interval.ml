@@ -12,16 +12,17 @@ let is_empty i = i = []
 let of_list pairs =
   let pairs = List.filter (fun (s, e) -> e > s) pairs in
   let pairs = List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) pairs in
-  let rec merge = function
-    | [] -> []
-    | [ (s, e) ] -> [ { start = s; stop = e } ]
-    | (s1, e1) :: (s2, e2) :: rest ->
-      if s2 <= e1 then merge ((s1, max e1 e2) :: rest)
-      else { start = s1; stop = e1 } :: merge ((s2, e2) :: rest)
+  (* Accumulator-passing merge: stack-safe however many spans arrive. *)
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | [ (s, e) ] -> List.rev ({ start = s; stop = e } :: acc)
+    | (s1, e1) :: ((s2, e2) :: rest as tl) ->
+      if s2 <= e1 then merge acc ((s1, max e1 e2) :: rest)
+      else merge ({ start = s1; stop = e1 } :: acc) tl
   in
-  merge pairs
+  merge [] pairs
 
-let to_list i = List.map (fun { start; stop } -> (start, stop)) i
+let to_list i = List.rev_map (fun { start; stop } -> (start, stop)) (List.rev i)
 let equal a b = a = b
 let mem t i = List.exists (fun { start; stop } -> start <= t && t < stop) i
 
@@ -108,36 +109,56 @@ let filter_duration ~min_duration i =
     (fun { start; stop } -> stop = infinity || stop - start > min_duration)
     i
 
+(* Walk initiations in order; for each initiation not already covered,
+   find the first termination strictly after it (an initiation at Ts
+   makes the fluent hold from Ts + 1 even when a termination also occurs
+   at Ts — canonical Event Calculus inertia). A termination at Te closes
+   the interval at Te + 1: the fluent still holds at Te. A re-initiation
+   exactly at Te starts a new period, which amalgamates with the closing
+   one.
+
+   Both arrays are sorted, so the pairing is a linear two-pointer walk:
+   each cursor only moves forward. Duplicate points need no dedup pass —
+   duplicate initiations are skipped by the cursor advance past covered
+   starts, duplicate terminations by the strictly-after search. This is
+   the allocation-light kernel behind both [from_points] entries: the
+   engine's per-FVP assembly hands it flat scratch arrays directly. *)
+let from_sorted_point_arrays starts n_starts stops n_stops =
+  let acc = ref [] in
+  let push s e =
+    match !acc with
+    | { start; stop } :: rest when s <= stop -> acc := { start; stop = e } :: rest
+    | _ -> acc := { start = s; stop = e } :: !acc
+  in
+  let i = ref 0 and j = ref 0 in
+  (try
+     while !i < n_starts do
+       let ts = starts.(!i) in
+       while !j < n_stops && stops.(!j) <= ts do
+         incr j
+       done;
+       if !j >= n_stops then begin
+         push (ts + 1) infinity;
+         raise Exit
+       end
+       else begin
+         let te = stops.(!j) in
+         push (ts + 1) (te + 1);
+         while !i < n_starts && starts.(!i) < te do
+           incr i
+         done
+       end
+     done
+   with Exit -> ());
+  List.rev !acc
+
+let from_point_arrays ~starts ~stops =
+  Array.sort Int.compare starts;
+  Array.sort Int.compare stops;
+  from_sorted_point_arrays starts (Array.length starts) stops (Array.length stops)
+
 let from_points ~starts ~stops =
-  let starts = List.sort_uniq Int.compare starts in
-  let stops = List.sort_uniq Int.compare stops in
-  (* Walk initiations in order; for each initiation not already covered,
-     find the first termination strictly after it (an initiation at Ts
-     makes the fluent hold from Ts + 1 even when a termination also occurs
-     at Ts — canonical Event Calculus inertia). A termination at Te closes
-     the interval at Te + 1: the fluent still holds at Te. A re-initiation
-     exactly at Te starts a new period, which amalgamates with the closing
-     one. *)
-  (* Both lists are sorted, so the pairing is a linear two-pointer walk:
-     each cursor only moves forward. A new period can start exactly at the
-     previous termination point, in which case the two spans are adjacent
-     and amalgamate in [push]. *)
-  let push acc s e =
-    match acc with
-    | { start; stop } :: rest when s <= stop -> { start; stop = e } :: rest
-    | _ -> { start = s; stop = e } :: acc
-  in
-  let rec drop_le t = function x :: rest when x <= t -> drop_le t rest | l -> l in
-  let rec drop_lt t = function x :: rest when x < t -> drop_lt t rest | l -> l in
-  let rec go acc starts stops =
-    match starts with
-    | [] -> List.rev acc
-    | ts :: starts' -> (
-      match drop_le ts stops with
-      | [] -> List.rev (push acc (ts + 1) infinity)
-      | te :: _ as stops -> go (push acc (ts + 1) (te + 1)) (drop_lt te starts') stops)
-  in
-  go [] starts stops
+  from_point_arrays ~starts:(Array.of_list starts) ~stops:(Array.of_list stops)
 
 let pp ppf i =
   let pp_span ppf { start; stop } =

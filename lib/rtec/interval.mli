@@ -62,7 +62,13 @@ val from_points : starts:int list -> stops:int list -> t
     inertia semantics: an initiation at [Ts] opens an interval at [Ts + 1]
     (even when a termination also fires at [Ts]); the interval closes at
     [Te + 1] for the first termination [Te > Ts]; intermediate initiations
-    are ignored; a final unmatched initiation yields an open interval. *)
+    are ignored; a final unmatched initiation yields an open interval.
+    Duplicate points are tolerated (they cannot change the result). *)
+
+val from_point_arrays : starts:int array -> stops:int array -> t
+(** Flat-array variant of {!from_points} for allocation-sensitive
+    callers; sorts both argument arrays in place (they are treated as
+    caller-owned scratch). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -28,6 +28,8 @@ let of_source source =
 
 let facts kb = M.fold (fun _ fs acc -> List.rev_append fs acc) kb.index []
 
+let candidates kb ind = Option.value ~default:[] (M.find_opt ind kb.index)
+
 let solve kb subst pattern =
   let concrete = Subst.apply subst pattern in
   match M.find_opt (Term.indicator concrete) kb.index with

@@ -13,6 +13,11 @@ val of_source : string -> t
 (** Parses a program of facts in concrete syntax. *)
 
 val facts : t -> Term.t list
+val candidates : t -> string * int -> Term.t list
+(** Stored facts for an indicator, in the exact order {!solve} scans
+    them (latest-added first). The rule compiler freezes this order into
+    its fact tables so compiled and interpreted solution orders agree. *)
+
 val solve : t -> Subst.t -> Term.t -> Subst.t list
 (** [solve kb subst pattern] returns one extended substitution per stored
     fact unifying with [pattern] under [subst]. *)

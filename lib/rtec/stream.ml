@@ -111,6 +111,9 @@ let events_in s ~functor_ ~from ~until =
     collect start []
 
 let events_at s ~functor_ ~time = events_in s ~functor_ ~from:time ~until:time
+
+let indexed s ~functor_ =
+  Option.value ~default:[||] (M.find_opt functor_ s.by_indicator)
 let input_fluents s = s.input_fluents
 let indicators s = List.map fst (M.bindings s.by_indicator)
 
@@ -271,3 +274,11 @@ let append a b =
   of_sorted
     ~input_fluents:(a.input_fluents @ b.input_fluents)
     (List.merge (fun (x : event) y -> Int.compare x.time y.time) a.all b.all)
+
+(* Chunked ingestion: fold a sequence of already-built batches into one
+   stream via [append]. This is the entry point streaming front-ends use
+   (the CLI's multi-file recognise goes through it), so the appends
+   telemetry above reflects real merge traffic. *)
+let of_batches = function
+  | [] -> make []
+  | first :: rest -> List.fold_left append first rest

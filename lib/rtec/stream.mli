@@ -33,13 +33,27 @@ val events_in : t -> functor_:string * int -> from:int -> until:int -> event lis
 (** Events with the given indicator and [from <= time <= until]. *)
 
 val events_at : t -> functor_:string * int -> time:int -> event list
+
+val indexed : t -> functor_:string * int -> event array
+(** The stream's internal time-sorted event array for an indicator
+    ([ [||] ] when absent). Shared, not copied: callers must not mutate
+    it. This is the zero-copy access path the rule compiler builds its
+    candidate tables from. *)
+
 val input_fluents : t -> ((Term.t * Term.t) * Interval.t) list
 val indicators : t -> (string * int) list
 (** Event indicators present in the stream. *)
 
 val append : t -> t -> t
 (** Concatenates two streams by merging their already-sorted event lists;
-    duplicate input-fluent keys are unioned. *)
+    duplicate input-fluent keys are unioned. Instrumented: bumps the
+    [stream.appends] counter and the [stream.append_events] /
+    [stream.merged_size] histograms when telemetry is enabled. *)
+
+val of_batches : t list -> t
+(** Folds a list of event batches into one stream with {!append}; the
+    empty list yields the empty stream. Chunked/streaming ingestion
+    front-ends build their working stream through this entry. *)
 
 (** {1 Entity sharding}
 

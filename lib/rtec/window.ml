@@ -27,12 +27,18 @@ let query_times ~lo ~hi ~window ~step =
   in
   dedupe (gen first [])
 
-let run ?window ?step ?extent ~event_description ~knowledge ~stream () =
+let run ?window ?step ?extent ?(compile = true) ~event_description ~knowledge ~stream () =
   (* [extent] overrides the query-time grid: a shard of a partitioned
      stream must evaluate the same query times as every other shard (and
      as the unsharded run), so the sharding runtime passes the full
      stream's extent here. *)
   let lo, hi = Option.value ~default:(Stream.extent stream) extent in
+  (* Compile the event description once per run; every window reuses the
+     program (the intern ids baked into its closures never go stale). *)
+  let compiled =
+    if compile then Some (Compiled.compile ~event_description ~knowledge ~stream ())
+    else None
+  in
   (* Without an explicit window, a single query covers the whole extent. *)
   let window = Option.value ~default:(hi - lo + 1) window in
   let step = Option.value ~default:window step in
@@ -79,8 +85,8 @@ let run ?window ?step ?extent ~event_description ~knowledge ~stream () =
       Telemetry.Metrics.observe h_carry (float_of_int (List.length carry));
       let sp = Telemetry.Trace.start "window.query" in
       let outcome =
-        Engine.run ~carry ~universe ~input_from:window_start ~event_description ~knowledge
-          ~stream ~from:eval_from ~until:q ()
+        Engine.run ~carry ~universe ~input_from:window_start ?compiled ~event_description
+          ~knowledge ~stream ~from:eval_from ~until:q ()
       in
       Telemetry.Trace.finish sp
         ~args:

@@ -25,6 +25,7 @@ val run :
   ?window:int ->
   ?step:int ->
   ?extent:int * int ->
+  ?compile:bool ->
   event_description:Ast.t ->
   knowledge:Knowledge.t ->
   stream:Stream.t ->
@@ -32,6 +33,9 @@ val run :
   (Engine.result * stats, string) Result.t
 (** Runs the engine over the whole stream. Without [window], a single
     query over the full extent is performed. [step] defaults to [window].
+    [compile] (default [true]) builds a {!Compiled} rule program once and
+    reuses it for every window; pass [false] to force the interpreter
+    (the differential oracle — results are bit-identical either way).
     Intervals still open at a query time are truncated just past that
     query's horizon, so that the next overlapping window extends them
     seamlessly. [extent] overrides the [(lo, hi)] range the query times

@@ -18,10 +18,13 @@ type config = {
   step : int option;
   jobs : int;
   shards : int option;
+  compile : bool;
 }
 
-let default = { window = None; step = None; jobs = 1; shards = None }
-let config ?window ?step ?(jobs = 1) ?shards () = { window; step; jobs; shards }
+let default = { window = None; step = None; jobs = 1; shards = None; compile = true }
+
+let config ?window ?step ?(jobs = 1) ?shards ?(compile = true) () =
+  { window; step; jobs; shards; compile }
 
 type stats = { queries : int; events_processed : int; shards : int; jobs : int }
 
@@ -61,8 +64,8 @@ let sequential ~config:(config : config) ~event_description ~knowledge ~stream (
           shards = 1;
           jobs = 1;
         } ))
-    (Rtec.Window.run ?window:config.window ?step:config.step ~event_description ~knowledge
-       ~stream ())
+    (Rtec.Window.run ?window:config.window ?step:config.step ~compile:config.compile
+       ~event_description ~knowledge ~stream ())
 
 (* Deterministic merge: the per-shard accumulators carry disjoint
    fluent-value pairs (an FVP's entities all live in one shard), and
@@ -89,16 +92,24 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
   if config.jobs < 1 then Result.Error "jobs must be positive"
   else begin
     Telemetry.Metrics.incr m_runs;
-    let sharding_wanted = config.jobs > 1 || Option.is_some config.shards in
+    (* [jobs] is an upper bound on fan-out, not a demand: domains beyond
+       the host's cores never help in OCaml 5 (every minor collection is
+       a stop-the-world sync across domains, so oversubscription turns
+       each GC into a context-switch storm — >2x slowdown measured on a
+       single-core host). Sharding follows the effective fan-out; an
+       explicit [shards] still forces a finer partition, so the
+       partition/merge machinery stays exercised on any host. *)
+    let effective_jobs = min config.jobs (Domain.recommended_domain_count ()) in
+    let sharding_wanted = effective_jobs > 1 || Option.is_some config.shards in
     if (not sharding_wanted) || has_ground_initially event_description then
       sequential ~config ~event_description ~knowledge ~stream ()
     else begin
-      let shard_target = Option.value ~default:config.jobs config.shards in
+      let shard_target = Option.value ~default:effective_jobs config.shards in
       let shard_streams = Array.of_list (Rtec.Stream.partition ~shards:shard_target stream) in
       let n_shards = Array.length shard_streams in
       if n_shards <= 1 then sequential ~config ~event_description ~knowledge ~stream ()
       else begin
-        let jobs = min config.jobs n_shards in
+        let jobs = min effective_jobs n_shards in
         Telemetry.Metrics.incr m_sharded_runs;
         Telemetry.Metrics.observe h_shards (float_of_int n_shards);
         Telemetry.Metrics.set g_jobs (float_of_int jobs);
@@ -141,7 +152,7 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
                   ]
                 (fun () ->
                   Rtec.Window.run ?window:config.window ?step:config.step ~extent
-                    ~event_description ~knowledge ~stream:shard ()))
+                    ~compile:config.compile ~event_description ~knowledge ~stream:shard ()))
             shard_streams
         in
         Telemetry.Trace.finish sp;

@@ -44,19 +44,32 @@ type config = {
       (** query step; [None] (the default) means one window per step,
           i.e. tumbling windows *)
   jobs : int;
-      (** worker-domain fan-out; the default [1] evaluates sequentially
-          in the calling domain, exactly like [Window.run] *)
+      (** upper bound on worker-domain fan-out; the default [1]
+          evaluates sequentially in the calling domain, exactly like
+          [Window.run]. The effective fan-out is capped at
+          [Domain.recommended_domain_count ()]: domains beyond the
+          host's cores never help in OCaml 5 (every minor collection
+          synchronises all domains), so oversubscription is treated as
+          a request for "as parallel as this host goes". *)
   shards : int option;
       (** upper bound on the number of stream shards; [None] (the
-          default) uses [jobs] shards, so each worker gets one balanced
-          shard. More shards than jobs gives finer load balancing at the
-          cost of more per-query engine work. *)
+          default) uses one shard per {e effective} worker, so each
+          worker gets one balanced shard. An explicit count gives finer
+          load balancing (more shards than jobs) at the cost of more
+          per-query engine work — and forces the partition even where
+          the clamp serialised the workers. *)
+  compile : bool;
+      (** compile transition rules to closure chains over interned terms
+          ([Rtec.Compiled]); each shard compiles its own program. [false]
+          forces the interpreter — the differential oracle; results are
+          bit-identical either way. Default [true]. *)
 }
 
 val default : config
-(** [{ window = None; step = None; jobs = 1; shards = None }] *)
+(** [{ window = None; step = None; jobs = 1; shards = None; compile = true }] *)
 
-val config : ?window:int -> ?step:int -> ?jobs:int -> ?shards:int -> unit -> config
+val config :
+  ?window:int -> ?step:int -> ?jobs:int -> ?shards:int -> ?compile:bool -> unit -> config
 (** [config ()] is {!default}; each argument overrides one field. *)
 
 type stats = {
@@ -75,9 +88,11 @@ val run :
   (Rtec.Engine.result * stats, string) Result.t
 (** Recognises the event description over the stream.
 
-    With [jobs = 1] and [shards = None] this is exactly
-    [Window.run ?window ?step]: same evaluation, same result order, same
-    single-domain execution. With [jobs > 1] the stream is partitioned,
+    With an effective fan-out of 1 (requested [jobs = 1], or a larger
+    request clamped by a single-core host) and [shards = None] this is
+    exactly [Window.run ?window ?step]: same evaluation, same result
+    order, same single-domain execution. Otherwise the stream is
+    partitioned,
     every shard is evaluated over the {e same} query-time grid (the full
     stream's extent) with bounded fan-out, and the per-shard interval
     maps are unioned in the canonical fluent-value order — so the output

@@ -228,6 +228,37 @@ let properties =
          (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60))
          (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 60)))
       (fun (starts, stops) -> well_formed (Interval.from_points ~starts ~stops));
+    (* The accumulator-passing merge must survive inputs far beyond any
+       stack depth: a naive non-tail recursion overflows around 100k
+       spans on the default stack. Spans arrive shuffled (worst case for
+       the sort) with a mix of overlapping, adjacent and disjoint
+       neighbours, and the result is checked against the count the
+       stride structure dictates. *)
+    prop "of_list is stack-safe and correct on 100k+ spans" 3
+      (QCheck.int_range 100_000 150_000)
+      (fun n ->
+        let spans =
+          List.init n (fun i ->
+              (* stride 4, length 5 when i%3=0 (bridges to the next span,
+                 which merges), else length 2 (disjoint). *)
+              let s = i * 4 in
+              (s, s + (if i mod 3 = 0 then 5 else 2)))
+        in
+        (* Shuffle deterministically: visit odd indices then even. *)
+        let shuffled =
+          List.filteri (fun i _ -> i mod 2 = 1) spans
+          @ List.filteri (fun i _ -> i mod 2 = 0) spans
+        in
+        let merged = Interval.of_list shuffled in
+        (* Every i%3=0 span [4i, 4i+5) absorbs its successor [4i+4, 4i+6),
+           so each such pair collapses into one span. Pairs that merge:
+           the i%3=0 indices that still have a successor, i.e. those in
+           [0, n-2] — floor((n+1)/3) of them — and each removes one span
+           from the count. *)
+        let expected = n - ((n + 1) / 3) in
+        well_formed merged
+        && List.length (Interval.to_list merged) = expected
+        && Interval.equal merged (Interval.of_list spans));
   ]
 
 let suite =

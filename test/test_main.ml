@@ -12,6 +12,7 @@ let () =
       ("maritime", Test_maritime.suite);
       ("fleet", Test_fleet.suite);
       ("differential", Test_differential.suite);
+      ("compiled", Test_compiled.suite);
       ("runtime", Test_runtime.suite);
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);

@@ -242,6 +242,45 @@ let normalised result =
          ((Rtec.Term.to_string f, Rtec.Term.to_string v), Rtec.Interval.to_list spans))
        result)
 
+(* Batch ingestion is instrumented at the merge point: folding n batches
+   through Stream.of_batches performs n-1 appends, each observing the
+   incoming batch's event count and the merged size. The counters are
+   the only visibility a deployment has into how its working stream was
+   assembled, so their arithmetic is pinned here. *)
+let test_stream_append_counters () =
+  scoped (fun () ->
+      let batch times =
+        Rtec.Stream.make
+          (List.map
+             (fun t -> { Rtec.Stream.time = t; term = Rtec.Term.app "e" [ Rtec.Term.Int t ] })
+             times)
+      in
+      let merged =
+        Rtec.Stream.of_batches [ batch [ 1; 5 ]; batch [ 2 ]; batch [ 3; 4; 6 ] ]
+      in
+      Alcotest.(check int) "all events survive the folds" 6 (Rtec.Stream.size merged);
+      let snap = Metrics.snapshot () in
+      Alcotest.(check (option int))
+        "one append per extra batch" (Some 2)
+        (Metrics.find_counter snap "stream.appends");
+      (match List.assoc_opt "stream.append_events" snap.Metrics.histograms with
+       | Some s ->
+         Alcotest.(check int) "append_events observations" 2 s.Metrics.count;
+         (* Incoming batch sizes: 1 then 3. *)
+         Alcotest.(check (float 0.0)) "append_events sum" 4.0 s.Metrics.sum
+       | None -> Alcotest.fail "stream.append_events histogram missing");
+      (match List.assoc_opt "stream.merged_size" snap.Metrics.histograms with
+       | Some s ->
+         (* Merged sizes: 2+1=3 then 3+3=6. *)
+         Alcotest.(check (float 0.0)) "merged_size sum" 9.0 s.Metrics.sum
+       | None -> Alcotest.fail "stream.merged_size histogram missing");
+      (* The empty and singleton folds never touch the merge path. *)
+      ignore (Rtec.Stream.of_batches []);
+      ignore (Rtec.Stream.of_batches [ batch [ 9 ] ]);
+      Alcotest.(check (option int))
+        "degenerate folds do not append" (Some 2)
+        (Metrics.find_counter (Metrics.snapshot ()) "stream.appends"))
+
 let test_recognition_bit_identical () =
   let data =
     Maritime.Dataset.generate ~config:{ Maritime.Dataset.seed = 3; replicas = 1; nominal = 0 } ()
@@ -377,6 +416,7 @@ let suite =
     Alcotest.test_case "Chrome trace_event export" `Quick test_chrome_export;
     Alcotest.test_case "text export indents children" `Quick test_text_export;
     Alcotest.test_case "metrics snapshot JSON" `Quick test_metrics_json;
+    Alcotest.test_case "stream append counters" `Quick test_stream_append_counters;
     Alcotest.test_case "recognition bit-identical with telemetry on vs. off" `Quick
       test_recognition_bit_identical;
     test_json_float_roundtrip;
