@@ -467,6 +467,52 @@ let sample_gc () =
       hit miss rate
   end
 
+(* Provenance gate inputs. Two gauges: (a) the recorder-on/off timing
+   ratio straight from the bechamel rows just measured — the headline
+   number the compact integer records exist to hold down (the PR 5
+   string-building recorder sat at 6.2x); and (b) the compiled-cache hit
+   delta over a single recorder-on fleet run — nonzero exactly when the
+   compiled closure chains stayed active while recording, i.e. the
+   recorder no longer forces the interpreted fallback. Both are recorded
+   as gauges so {!check_gate} can hold them, and so the trajectory file
+   carries them next to the timings. *)
+let sample_provenance rows =
+  let est name =
+    match List.assoc_opt name rows with Some (Some e) -> Some e | _ -> None
+  in
+  (match
+     ( est "adg/provenance-overhead/recorder-on",
+       est "adg/provenance-overhead/recorder-off" )
+   with
+  | Some on, Some off when off > 0. ->
+    let ratio = on /. off in
+    Telemetry.Metrics.set (Telemetry.Metrics.gauge "bench.gate.provenance_overhead") ratio;
+    Format.printf "provenance recorder overhead: %.0f -> %.0f ns/run (x%.2f)@." off on ratio
+  | _ -> ());
+  let stream, knowledge = Fleet.generate () in
+  let ed = Domain.event_description Fleet.domain in
+  let hits = Telemetry.Metrics.counter "engine.compiled.hit" in
+  let h0 = Telemetry.Metrics.value hits in
+  Rtec.Derivation.reset ();
+  Rtec.Derivation.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rtec.Derivation.disable ();
+      Rtec.Derivation.reset ())
+    (fun () ->
+      match
+        Runtime.run
+          ~config:(Runtime.config ~window:3600 ~step:1800 ())
+          ~event_description:ed ~knowledge ~stream ()
+      with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+  let dh = Telemetry.Metrics.value hits - h0 in
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge "bench.gate.provenance_compiled_hits")
+    (float_of_int dh);
+  Format.printf "recorder-on fleet run: %d compiled-chain hits@." dh
+
 (* Machine-readable trajectory point: benchmark name -> ns/run estimate
    (null when the OLS fit failed), plus a metrics snapshot when metric
    collection was on — the counters explain the timings (cache hits,
@@ -734,6 +780,31 @@ let check_gate ~baseline =
      Format.printf "%-52s %31.4f  (no baseline, skipped)@." "bench.gate.compiled_miss_rate"
        current
    | None, _ -> ());
+  (* Property gates — absolute bounds, not baseline-relative: proof
+     capture must stay under 1.5x the recorder-off run (the whole point
+     of the compact integer records), and the compiled engine must have
+     stayed active while recording (a zero hit delta means the recorder
+     forced the interpreted fallback again). *)
+  (match List.assoc_opt "bench.gate.provenance_overhead" snap.Telemetry.Metrics.gauges with
+  | Some ratio ->
+    incr compared;
+    let ok = ratio < 1.5 in
+    if not ok then incr failures;
+    Format.printf "%-52s %14s -> %14.2f       %s@." "bench.gate.provenance_overhead"
+      "< x1.50" ratio
+      (if ok then "" else "FAIL (>= x1.5)")
+  | None -> ());
+  (match
+     List.assoc_opt "bench.gate.provenance_compiled_hits" snap.Telemetry.Metrics.gauges
+   with
+  | Some hits ->
+    incr compared;
+    let ok = hits > 0. in
+    if not ok then incr failures;
+    Format.printf "%-52s %14s -> %14.0f       %s@." "bench.gate.provenance_compiled_hits"
+      "> 0" hits
+      (if ok then "" else "FAIL (recorder forced the interpreter)")
+  | None -> ());
   if !compared = 0 then begin
     Printf.eprintf "bench gate: no gauge shared with the baseline\n";
     exit 2
@@ -840,7 +911,10 @@ let () =
   let rows = benchmark_min ~smoke:!smoke ~repeat:!repeat ~jobs:!jobs in
   (* Before the JSON writers run, so the gauges land in the snapshot the
      trajectory file and the --metrics artifact embed. *)
-  if Telemetry.Metrics.is_enabled () then sample_gc ();
+  if Telemetry.Metrics.is_enabled () then begin
+    sample_gc ();
+    sample_provenance rows
+  end;
   Option.iter (fun file -> write_json ~merge:!merge file rows) !json_file;
   Option.iter
     (fun file ->

@@ -157,8 +157,39 @@ let recognise_cmd =
                  differential oracle. The result is bit-identical to the default \
                  compiled run.")
   in
-  let run ed_file stream_files kb_file window step jobs shards fluent interpret trace
-      metrics metrics_format =
+  let provenance_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "always") (some string) None
+      & info [ "provenance" ] ~docv:"MODE"
+          ~doc:"Record compact derivation provenance during recognition: \
+                $(b,always) (the default when the flag is given bare), \
+                $(b,sample:N) (a deterministic 1-in-N window subset) or \
+                $(b,sample:N:SEED). Recognition output is unchanged; recorder \
+                stats are printed as a comment line.")
+  in
+  let parse_provenance spec =
+    match String.split_on_char ':' spec with
+    | [ "always" ] -> Rtec.Derivation.Always
+    | [ "sample"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Rtec.Derivation.One_in { n; seed = 0 }
+      | _ ->
+        Printf.eprintf "invalid --provenance sample count: %s\n" spec;
+        exit 2)
+    | [ "sample"; n; seed ] -> (
+      match (int_of_string_opt n, int_of_string_opt seed) with
+      | Some n, Some seed when n > 0 -> Rtec.Derivation.One_in { n; seed }
+      | _ ->
+        Printf.eprintf "invalid --provenance sample spec: %s\n" spec;
+        exit 2)
+    | _ ->
+      Printf.eprintf "invalid --provenance mode: %s (expected always or sample:N[:SEED])\n"
+        spec;
+      exit 2
+  in
+  let run ed_file stream_files kb_file window step jobs shards fluent interpret provenance
+      trace metrics metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
     match Rtec.Parser.parse_clauses_result (read_file ed_file) with
     | Error e ->
@@ -176,7 +207,17 @@ let recognise_cmd =
           (List.map (fun f -> Rtec.Io.stream_of_string (read_file f)) stream_files)
       in
       let config = Runtime.config ?window ?step ~jobs ?shards ~compile:(not interpret) () in
-      match Runtime.run ~config ~event_description:ed ~knowledge ~stream () with
+      let outcome =
+        match provenance with
+        | None -> Runtime.run ~config ~event_description:ed ~knowledge ~stream ()
+        | Some spec ->
+          let sampling = parse_provenance spec in
+          Result.map
+            (fun (run : Provenance.run) -> (run.Provenance.result, run.Provenance.stats))
+            (Provenance.recognise ~config ~sampling ~event_description:ed ~knowledge
+               ~stream ())
+      in
+      match outcome with
       | Error e ->
         Printf.eprintf "recognition failed: %s\n" e;
         exit 1
@@ -184,6 +225,15 @@ let recognise_cmd =
         telemetry_write ~trace ~metrics ~metrics_format;
         Format.printf "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
           stats.queries stats.events_processed stats.shards stats.jobs;
+        if Option.is_some provenance then begin
+          let s = Rtec.Derivation.stats () in
+          Format.printf
+            "%% provenance: %d records (%d evicted), %d/%d windows sampled, %d KiB retained@."
+            s.Rtec.Derivation.records s.Rtec.Derivation.evicted
+            s.Rtec.Derivation.windows_sampled
+            (s.Rtec.Derivation.windows_sampled + s.Rtec.Derivation.windows_skipped)
+            (s.Rtec.Derivation.retained_words * (Sys.word_size / 8) / 1024)
+        end;
         let selected =
           match fluent with
           | None -> result
@@ -205,7 +255,7 @@ let recognise_cmd =
              order) and print maximal intervals.")
     Term.(
       const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ jobs_arg
-      $ shards_arg $ fluent_arg $ interpret_arg $ trace_arg $ metrics_arg
+      $ shards_arg $ fluent_arg $ interpret_arg $ provenance_arg $ trace_arg $ metrics_arg
       $ metrics_format_arg)
 
 (* --- explain --- *)
@@ -245,9 +295,32 @@ let explain_cmd =
                  Chrome trace_event file (one track per activity; load in \
                  chrome://tracing or Perfetto).")
   in
-  let run gold_file gen_file stream_file kb_file window step jobs json proof proof_chrome
-      trace metrics metrics_format =
+  let sample_arg =
+    Arg.(
+      value & opt string "full"
+      & info [ "sample" ] ~docv:"MODE"
+          ~doc:"Provenance recording mode for the two recognition runs: \
+                $(b,full) (every window), $(b,divergent) (only windows near \
+                diverging spans, located by a recorder-off probe pass) or \
+                $(b,sample:N[:SEED]) (a deterministic 1-in-N window subset).")
+  in
+  let run gold_file gen_file stream_file kb_file window step jobs sample json proof
+      proof_chrome trace metrics metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
+    let sample =
+      match String.split_on_char ':' sample with
+      | [ "full" ] -> `Full
+      | [ "divergent" ] -> `Divergent
+      | [ "sample"; n ] when Option.is_some (int_of_string_opt n) ->
+        `One_in (int_of_string n, 0)
+      | [ "sample"; n; seed ]
+        when Option.is_some (int_of_string_opt n) && Option.is_some (int_of_string_opt seed)
+        ->
+        `One_in (int_of_string n, int_of_string seed)
+      | _ ->
+        Printf.eprintf "invalid --sample mode (expected full, divergent or sample:N[:SEED])\n";
+        exit 2
+    in
     let parse_ed file =
       match Rtec.Parser.parse_clauses_result (read_file file) with
       | Error e ->
@@ -277,13 +350,16 @@ let explain_cmd =
         Printf.eprintf "recognition failed: %s\n" e;
         exit 1
       | Ok run ->
+        (* Force the lazy proof reconstruction now: the Diff runs below
+           reset the recorder buffer these records decode from. *)
+        let events = Lazy.force run.Provenance.events in
         Option.iter
-          (fun f -> Telemetry.Json.write_file ~indent:true f (Provenance.Export.proof_to_json run.Provenance.events))
+          (fun f -> Telemetry.Json.write_file ~indent:true f (Provenance.Export.proof_to_json events))
           proof;
         Option.iter
-          (fun f -> Telemetry.Json.write_file f (Provenance.Export.proof_to_chrome run.Provenance.events))
+          (fun f -> Telemetry.Json.write_file f (Provenance.Export.proof_to_chrome events))
           proof_chrome));
-    match Provenance.Diff.diff ~config ~gold ~generated ~knowledge ~stream () with
+    match Provenance.Diff.diff ~config ~sample ~gold ~generated ~knowledge ~stream () with
     | Error e ->
       Printf.eprintf "explain failed: %s\n" e;
       exit 1
@@ -309,8 +385,8 @@ let explain_cmd =
          ])
     Term.(
       const run $ gold_arg $ gen_arg $ stream_arg $ kb_arg $ window_arg $ step_arg
-      $ jobs_arg $ json_arg $ proof_arg $ proof_chrome_arg $ trace_arg $ metrics_arg
-      $ metrics_format_arg)
+      $ jobs_arg $ sample_arg $ json_arg $ proof_arg $ proof_chrome_arg $ trace_arg
+      $ metrics_arg $ metrics_format_arg)
 
 (* --- dataset --- *)
 

@@ -29,7 +29,11 @@
 # bench/dune): single-shot GC gauges per recognition workload and the
 # compiled-cache miss rate must stay within fixed bounds of the
 # committed baseline (minor words <= 1.25x, miss rate <= baseline +
-# 0.02) — iteration-exact measures, so no drift normalisation applies.
+# 0.02) — iteration-exact measures, so no drift normalisation applies —
+# plus two provenance properties with absolute bounds: the recorder-on
+# row must price under 1.5x the recorder-off row, and a recorder-on
+# fleet run must show a nonzero compiled-cache hit delta (a zero means
+# derivation recording forced the interpreted fallback again).
 set -eu
 
 dune build

@@ -106,22 +106,31 @@ end
 type run = {
   result : Engine.result;
   stats : Runtime.stats;
-  events : Derivation.event list;
+  events : Derivation.event list Lazy.t;
   store : Store.t;
 }
 
-let recognise ?(config = Runtime.default) ~event_description ~knowledge ~stream () =
+let recognise ?(config = Runtime.default) ?(sampling = Derivation.Always) ~event_description
+    ~knowledge ~stream () =
   let was = Derivation.is_enabled () in
   Derivation.reset ();
+  Derivation.set_sampling sampling;
   Derivation.enable ();
   Fun.protect
-    ~finally:(fun () -> if not was then Derivation.disable ())
+    ~finally:(fun () ->
+      Derivation.set_sampling Derivation.Always;
+      if not was then Derivation.disable ())
     (fun () ->
       match Runtime.run ~config ~event_description ~knowledge ~stream () with
       | Error e -> Result.Error e
       | Ok (result, stats) ->
-        let events = Derivation.events () in
-        Ok { result; stats; events; store = Store.of_events events })
+        (* The store indexes the cheap steps-free decode; full proof
+           trees (grounded per-condition trails) are reconstructed only
+           if [events] is forced — and must be forced before the next
+           [recognise] resets the recorder. *)
+        let rules = Engine.labelled_rules event_description in
+        let events = lazy (Derivation.events ~rules ()) in
+        Ok { result; stats; events; store = Store.of_events (Derivation.events ()) })
 
 module Diff = struct
   type kind = Fp | Fn
@@ -516,11 +525,57 @@ module Diff = struct
              (b.fp_points + b.fn_points, a.row_activity, a.row_rule)
              (a.fp_points + a.fn_points, b.row_activity, b.row_rule))
 
-  let diff ?(config = Runtime.default) ~gold ~generated ~knowledge ~stream () =
-    match recognise ~config ~event_description:gold ~knowledge ~stream () with
+  (* Divergent-window sampling: a recorder-off probe run of both sides
+     locates the diverging spans; the recorded re-run then samples only
+     the windows whose evaluation range can touch one — expanded one
+     window backwards, so the initiation that opened a diverging
+     interval is still captured. Without a window size every query
+     covers the whole extent, so sampling degenerates to [Always]. *)
+  let divergent_sampling ~config ~gold ~generated ~knowledge ~stream () =
+    match Runtime.run ~config ~event_description:gold ~knowledge ~stream () with
+    | Error e -> Result.Error ("gold recognition: " ^ e)
+    | Ok (gold_result, _) -> (
+      match Runtime.run ~config ~event_description:generated ~knowledge ~stream () with
+      | Error e -> Result.Error ("generated recognition: " ^ e)
+      | Ok (gen_result, _) -> (
+        match config.Runtime.window with
+        | None -> Ok Derivation.Always
+        | Some w ->
+          let spans_of result fv =
+            match List.find_opt (fun (fv', _) -> Engine.compare_fvp fv fv' = 0) result with
+            | Some (_, spans) -> spans
+            | None -> Interval.empty
+          in
+          let diverging =
+            List.map fst gold_result @ List.map fst gen_result
+            |> List.sort_uniq Engine.compare_fvp
+            |> List.concat_map (fun fv ->
+                   let g = spans_of gold_result fv and n = spans_of gen_result fv in
+                   Interval.to_list (Interval.diff n g)
+                   @ Interval.to_list (Interval.diff g n))
+          in
+          Ok
+            (Derivation.Windows
+               (fun q ->
+                 List.exists (fun (a, b) -> a <= q + 2 && b >= q - (2 * w) + 2) diverging))))
+
+  let diff ?(config = Runtime.default) ?(sample = `Full) ~gold ~generated ~knowledge ~stream
+      () =
+    let sampling =
+      match sample with
+      | `Full -> Ok Derivation.Always
+      | `One_in (n, seed) -> Ok (Derivation.One_in { n; seed })
+      | `Divergent -> divergent_sampling ~config ~gold ~generated ~knowledge ~stream ()
+    in
+    match sampling with
+    | Error e -> Result.Error e
+    | Ok sampling -> (
+    match recognise ~config ~sampling ~event_description:gold ~knowledge ~stream () with
     | Error e -> Result.Error ("gold recognition: " ^ e)
     | Ok gold_run -> (
-      match recognise ~config ~event_description:generated ~knowledge ~stream () with
+      match
+        recognise ~config ~sampling ~event_description:generated ~knowledge ~stream ()
+      with
       | Error e -> Result.Error ("generated recognition: " ^ e)
       | Ok gen_run -> (
         match Engine.Diagnosis.prepare ~event_description:gold ~knowledge ~stream () with
@@ -602,7 +657,7 @@ module Diff = struct
                 total_matched = total (fun a -> a.matched_points);
                 total_fp = total (fun a -> a.act_fp_points);
                 total_fn = total (fun a -> a.act_fn_points);
-              })))
+              }))))
 
   (* --- rendering --- *)
 

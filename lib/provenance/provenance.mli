@@ -27,6 +27,8 @@ module Store : sig
     rule : string;
     spans : (int * int) list;
     steps : Rtec.Derivation.step list;
+        (** empty when the store was built from a steps-free decode (the
+            default in {!recognise}); attribution never reads them *)
   }
 
   val of_events : Rtec.Derivation.event list -> t
@@ -54,21 +56,26 @@ end
 type run = {
   result : Rtec.Engine.result;
   stats : Runtime.stats;
-  events : Rtec.Derivation.event list;
+  events : Rtec.Derivation.event list Lazy.t;
+      (** the full decode with reconstructed proof steps; force it only
+          when proof trees are needed, and before the next {!recognise}
+          resets the recorder buffer *)
   store : Store.t;
 }
 
 val recognise :
   ?config:Runtime.config ->
+  ?sampling:Rtec.Derivation.sampling ->
   event_description:Rtec.Ast.t ->
   knowledge:Rtec.Knowledge.t ->
   stream:Rtec.Stream.t ->
   unit ->
   (run, string) Result.t
 (** {!Runtime.run} with the derivation recorder enabled for the duration
-    of the call (resetting the buffer first and restoring the previous
-    gate state after). The recognition result is bit-identical to a run
-    without recording. *)
+    of the call (resetting the buffer first, applying [sampling] — default
+    {!Rtec.Derivation.Always}, restored on exit — and restoring the
+    previous gate state after). The recognition result is bit-identical
+    to a run without recording. *)
 
 module Diff : sig
   type kind = Fp | Fn
@@ -121,6 +128,7 @@ module Diff : sig
 
   val diff :
     ?config:Runtime.config ->
+    ?sample:[ `Full | `One_in of int * int | `Divergent ] ->
     gold:Rtec.Ast.t ->
     generated:Rtec.Ast.t ->
     knowledge:Rtec.Knowledge.t ->
@@ -129,7 +137,12 @@ module Diff : sig
     (report, string) Result.t
   (** Recognises both event descriptions over [stream] (with provenance),
       then attributes every FP/FN time-point of every activity defined by
-      either description. *)
+      either description. [sample] (default [`Full]) restricts recording:
+      [`One_in (n, seed)] keeps a deterministic 1-in-[n] window subset;
+      [`Divergent] first locates diverging spans with a recorder-off
+      probe run of both sides, then records only the windows able to
+      touch one — attribution anchors outside those windows degrade to
+      coarser notes, totals are unaffected. *)
 
   val report_to_json : report -> Telemetry.Json.t
   val pp_report : Format.formatter -> report -> unit

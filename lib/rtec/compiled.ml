@@ -44,7 +44,13 @@ let no_probe _ _ = false
 let no_miss () = ()
 let no_emit _ _ = ()
 
-type compiled_rule = { cr_state : rstate; cr_chain : unit -> unit }
+type compiled_rule = {
+  cr_state : rstate;
+  cr_chain : unit -> unit;
+  cr_frame : frame;
+  cr_bvars : (string * bool) array;  (* bound vars in name order; true = time slot *)
+  cr_bslots : int array;  (* slot per binding; [lnot slot] for time slots *)
+}
 type rule_code = Compiled of compiled_rule | Interpreted
 
 type program = {
@@ -574,7 +580,22 @@ let compile_rule intern ~tables ~stream ~knowledge (r : Ast.rule) ~fluent ~value
     fun () -> st.r_emit (Intern.fvp_of_terms intern (fb ()) (vb ())) frame.tvals.(tslot)
   in
   let chain = List.fold_right (fun mk k -> mk k) makers terminal in
-  { cr_state = st; cr_chain = chain }
+  (* Snapshot the binding environment for the derivation recorder: after
+     the whole body is analysed, [bound] holds exactly the positively
+     bound variables — the domain of the interpreted substitution. *)
+  let bindings =
+    Hashtbl.fold (fun v k acc -> (v, k) :: acc) bound []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    cr_state = st;
+    cr_chain = chain;
+    cr_frame = frame;
+    cr_bvars = Array.of_list (List.map (fun (v, k) -> (v, k = `Time)) bindings);
+    cr_bslots =
+      Array.of_list
+        (List.map (fun (v, k) -> if k = `Time then lnot (slot v) else slot v) bindings);
+  }
 
 let compile ~event_description ~knowledge ~stream () =
   let intern = Intern.create () in
@@ -605,6 +626,12 @@ let compile ~event_description ~knowledge ~stream () =
           info.rules)
     (Dependency.all (Dependency.analyse event_description));
   { p_intern = intern; p_code = code; p_compiled = !compiled; p_fallback = !fallback }
+
+let binding_vars cr = cr.cr_bvars
+
+let binding_value cr i =
+  let s = cr.cr_bslots.(i) in
+  if s >= 0 then cr.cr_frame.ids.(s) else cr.cr_frame.tvals.(lnot s)
 
 let run_rule cr ~from ~until ~probe ~miss ~emit =
   let st = cr.cr_state in

@@ -57,3 +57,22 @@ val run_rule :
     miss, counted by the engine); [emit fvp t] receives each derived
     ground transition point, possibly with duplicates — exactly the
     solution multiset the interpreter derives. *)
+
+(** {1 Binding exposure}
+
+    The derivation recorder reads the successful substitution straight
+    out of a chain's slot frame at emission time — the compiled
+    equivalent of [Subst.bindings] on an interpreted solution. *)
+
+val binding_vars : compiled_rule -> (string * bool) array
+(** The rule's bound variables in name order, [true] marking time-valued
+    slots. The set matches the domain of the substitution the
+    interpreter would produce for the same rule: variables bound by
+    positive body literals (negation-scoped temporaries excluded), which
+    includes every head variable of a compilable rule. *)
+
+val binding_value : compiled_rule -> int -> int
+(** The current frame value of the [i]-th binding of {!binding_vars}:
+    the {!Intern} id of the bound term, or the raw time-point for a
+    time-valued slot. Only meaningful inside an [emit] callback, when
+    the whole chain has bound its slots. Allocation-free. *)

@@ -197,30 +197,26 @@ and body_solutions env subst = function
 
 (* Stable provenance label for the [i]-th rule of an indicator: the
    parser-assigned id when present, a positional fallback otherwise. *)
+(* Plain concatenation, not [Printf]: the recorder asks for the label of
+   every traced rule once per window, and formatted printing is an order
+   of magnitude slower than [^]. *)
 let rule_label ind i (r : Ast.rule) =
-  if String.equal r.Ast.id "" then Printf.sprintf "%s/%d#%d" (fst ind) (snd ind) (i + 1)
+  if String.equal r.Ast.id "" then
+    fst ind ^ "/" ^ string_of_int (snd ind) ^ "#" ^ string_of_int (i + 1)
   else r.Ast.id
 
-(* [body_solutions] with a per-condition trail: identical traversal (and
-   therefore identical solution order), each solution paired with the
-   grounded outcome of every body literal along its path. Only reached
-   when the derivation recorder is enabled. *)
-let traced_body_solutions env body =
-  let rec go subst acc index = function
-    | [] -> [ (subst, List.rev acc) ]
-    | literal :: rest ->
-      literal_solutions env subst literal
-      |> List.concat_map (fun s ->
-             let step =
-               {
-                 Derivation.index;
-                 literal = Term.to_string literal;
-                 grounded = Term.to_string (Subst.apply s literal);
-               }
-             in
-             go s (step :: acc) (index + 1) rest)
-  in
-  go Subst.empty [] 1 body
+(* The catalogue of labelled rules across the whole event description —
+   the index {!Derivation.events} uses to reconstruct proof steps from
+   compact records. *)
+let labelled_rules event_description =
+  Dependency.all (Dependency.analyse event_description)
+  |> List.concat_map (fun (info : Dependency.info) ->
+         List.mapi (fun i r -> (rule_label info.Dependency.indicator i r, r)) info.rules)
+
+(* The successful substitution, fully resolved, for the derivation
+   recorder — the interpreted counterpart of [Compiled.binding_value]. *)
+let resolved_bindings s =
+  List.map (fun (x, _) -> (x, Subst.apply s (Term.Var x))) (Subst.bindings s)
 
 (* Evaluate one initiatedAt/terminatedAt rule, returning the (fvp,
    time-point) pairs it derives within the window. Initiations must be
@@ -230,22 +226,18 @@ let traced_body_solutions env body =
    every matching instance. *)
 let transition_points env ~label ~kind (r : Ast.rule) ~fluent ~value ~time ~require_ground =
   Telemetry.Metrics.incr m_rule_evals;
-  let finish s steps =
+  let recording = Derivation.recording () in
+  let finish s =
     let f = Subst.apply s fluent and v = Subst.apply s value in
     match Subst.apply s time with
     | Term.Int t when (not require_ground) || (Term.is_ground f && Term.is_ground v) ->
-      (match steps with
-      | Some steps when Term.is_ground f && Term.is_ground v ->
-        Derivation.record
-          (Derivation.Transition
-             { fluent = f; value = v; time = t; kind; source = Derivation.Rule { rule = label; steps } })
-      | _ -> ());
+      if recording && Term.is_ground f && Term.is_ground v then
+        Derivation.record_transition ~kind ~rule:label ~fluent:f ~value:v ~time:t
+          ~binds:(resolved_bindings s);
       Some ((f, v), t)
     | _ -> None
   in
-  if Derivation.is_enabled () then
-    traced_body_solutions env r.Ast.body |> List.filter_map (fun (s, steps) -> finish s (Some steps))
-  else body_solutions env Subst.empty r.Ast.body |> List.filter_map (fun s -> finish s None)
+  body_solutions env Subst.empty r.Ast.body |> List.filter_map finish
 
 (* --- statically determined fluents --- *)
 
@@ -332,13 +324,15 @@ let bind_interval r imap out spans =
 
 (* Evaluate the body of a holdsFor rule; each solution carries the final
    substitution, interval-variable environment and — when [trace] is set —
-   the grounded per-condition trail for the derivation recorder (an empty
-   list otherwise; building it is the only difference, so solutions are
-   identical either way). Interval-construct errors abort the whole
+   the per-condition trail for the derivation recorder: (1-based condition
+   index, interval list the condition contributed) pairs, which
+   [Derivation.events] later re-grounds lazily against the rule body (an
+   empty list otherwise; building it is the only difference, so solutions
+   are identical either way). Interval-construct errors abort the whole
    evaluation (they indicate an ill-formed rule). *)
 let rec sd_solutions env r ~trace idx subst imap trail = function
   | [] -> Ok [ (subst, imap, List.rev trail) ]
-  | (Term.Compound ("holdsFor", [ fv; ivar ]) as literal) :: rest -> (
+  | Term.Compound ("holdsFor", [ fv; ivar ]) :: rest -> (
     match Term.as_fvp (Subst.apply subst fv) with
     | None ->
       Result.Error
@@ -351,25 +345,13 @@ let rec sd_solutions env r ~trace idx subst imap trail = function
           match bind_interval r imap ivar spans with
           | Result.Error e -> Result.Error e
           | Ok imap' -> (
-            let trail =
-              if trace then
-                {
-                  Derivation.index = idx;
-                  literal = Term.to_string literal;
-                  grounded =
-                    Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply s literal))
-                      (Interval.to_string spans);
-                }
-                :: trail
-              else trail
-            in
+            let trail = if trace then (idx, Interval.to_list spans) :: trail else trail in
             match sd_solutions env r ~trace (idx + 1) s imap' trail rest with
             | Result.Error e -> Result.Error e
             | Ok sols -> go (sols :: acc) more))
       in
       go [] branches)
-  | (Term.Compound (("union_all" | "intersect_all") as op, [ operands; out ]) as literal) :: rest
-    -> (
+  | Term.Compound (("union_all" | "intersect_all") as op, [ operands; out ]) :: rest -> (
     match Term.as_list operands with
     | None ->
       Result.Error
@@ -381,20 +363,9 @@ let rec sd_solutions env r ~trace idx subst imap trail = function
             else Interval.intersect_all lists
           in
           Result.bind (bind_interval r imap out spans) (fun imap' ->
-              let trail =
-                if trace then
-                  {
-                    Derivation.index = idx;
-                    literal = Term.to_string literal;
-                    grounded =
-                      Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply subst literal))
-                        (Interval.to_string spans);
-                  }
-                  :: trail
-                else trail
-              in
+              let trail = if trace then (idx, Interval.to_list spans) :: trail else trail in
               sd_solutions env r ~trace (idx + 1) subst imap' trail rest)))
-  | (Term.Compound ("relative_complement_all", [ i; operands; out ]) as literal) :: rest -> (
+  | Term.Compound ("relative_complement_all", [ i; operands; out ]) :: rest -> (
     match Term.as_list operands with
     | None ->
       Result.Error
@@ -406,20 +377,10 @@ let rec sd_solutions env r ~trace idx subst imap trail = function
               let spans = Interval.relative_complement_all base lists in
               Result.bind (bind_interval r imap out spans) (fun imap' ->
                   let trail =
-                    if trace then
-                      {
-                        Derivation.index = idx;
-                        literal = Term.to_string literal;
-                        grounded =
-                          Printf.sprintf "%s -> %s"
-                            (Term.to_string (Subst.apply subst literal))
-                            (Interval.to_string spans);
-                      }
-                      :: trail
-                    else trail
+                    if trace then (idx, Interval.to_list spans) :: trail else trail
                   in
                   sd_solutions env r ~trace (idx + 1) subst imap' trail rest))))
-  | (Term.Compound ("intDurGreater", [ i; threshold; out ]) as literal) :: rest -> (
+  | Term.Compound ("intDurGreater", [ i; threshold; out ]) :: rest -> (
     let min_duration =
       match threshold with
       | Term.Int n -> Some n
@@ -435,18 +396,7 @@ let rec sd_solutions env r ~trace idx subst imap trail = function
       Result.bind (operand_spans r imap i) (fun base ->
           let spans = Interval.filter_duration ~min_duration base in
           Result.bind (bind_interval r imap out spans) (fun imap' ->
-              let trail =
-                if trace then
-                  {
-                    Derivation.index = idx;
-                    literal = Term.to_string literal;
-                    grounded =
-                      Printf.sprintf "%s -> %s" (Term.to_string (Subst.apply subst literal))
-                        (Interval.to_string spans);
-                  }
-                  :: trail
-                else trail
-              in
+              let trail = if trace then (idx, Interval.to_list spans) :: trail else trail in
               sd_solutions env r ~trace (idx + 1) subst imap' trail rest)))
   | literal :: _ ->
     Result.Error
@@ -491,16 +441,8 @@ let evaluate_simple env ~ind ~carry (rules : Ast.rule list) =
   List.iter
     (fun (((f, v) as fv), origin) ->
       record inits (fv, env.from - 1);
-      if Derivation.is_enabled () then
-        Derivation.record
-          (Derivation.Transition
-             {
-               fluent = f;
-               value = v;
-               time = env.from - 1;
-               kind = Derivation.Init;
-               source = Derivation.Carry { origin };
-             }))
+      if Derivation.recording () then
+        Derivation.record_carry ~origin ~fluent:f ~value:v ~time:(env.from - 1))
     carry;
   (* The initiation of a different value of the same fluent terminates the
      current value (a fluent has at most one value at a time). *)
@@ -525,18 +467,9 @@ let evaluate_simple env ~ind ~carry (rules : Ast.rule list) =
             (fun acc (((pf, pv), t), plabel) ->
               match Unify.unify pf fluent with
               | Some s when Option.is_some (Unify.unify ~subst:s pv value) ->
-                if Derivation.is_enabled () then
-                  Derivation.record
-                    (Derivation.Transition
-                       {
-                         fluent;
-                         value;
-                         time = t;
-                         kind = Derivation.Term;
-                         source =
-                           Derivation.Pattern
-                             { rule = plabel; pattern = Term.to_string (Term.eq pf pv) };
-                       });
+                if Derivation.recording () then
+                  Derivation.record_pattern ~rule:plabel ~pattern:(Term.eq pf pv) ~fluent
+                    ~value ~time:t;
                 t :: acc
               | _ -> acc)
             stops !term_patterns
@@ -580,12 +513,38 @@ let ivec_array v = Array.sub v.buf 0 v.len
    closure chains, and rules the compiler could not handle fall back to
    [transition_points] — feeding the same accumulators, so the resulting
    cache content (and [Cache.add] order, hence result order) is
-   bit-identical to the interpreter's. Only entered when the derivation
-   recorder is off; the recorder's trace hooks live on the interpreted
-   path, which stays authoritative for explainability runs. *)
+   bit-identical to the interpreter's. When the derivation recorder is
+   armed, a [Derivation.sink] re-encodes each compiled emission as a
+   compact record (rule label, fvp, time and the chain's slot bindings
+   via {!Compiled.binding_value}) — the same record sequence, in the
+   same order, as the interpreted path produces. *)
 let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
     (rules : Ast.rule list) =
   let intern = Cache.intern env.cache in
+  let sink = Derivation.sink ~intern in
+  (* Wrap a compiled rule's [emit] so every emission also appends a
+     compact transition record; the bind array is per-rule scratch with
+     keys pre-filled, so the per-emission work is slot reads only. *)
+  let traced_emit cr ~kind i r base =
+    match sink with
+    | None -> base
+    | Some sk ->
+      let vars = Compiled.binding_vars cr in
+      let n = Array.length vars in
+      let rule = Derivation.sink_string sk (rule_label ind i r) in
+      let binds = Array.make (2 * n) 0 in
+      Array.iteri
+        (fun j (v, is_time) ->
+          binds.(2 * j) <-
+            (Derivation.sink_string sk v lsl 1) lor (if is_time then 1 else 0))
+        vars;
+      fun id t ->
+        base id t;
+        for j = 0 to n - 1 do
+          binds.((2 * j) + 1) <- Compiled.binding_value cr j
+        done;
+        Derivation.sink_transition_ids sk ~kind ~rule ~fvp:id ~time:t ~binds
+  in
   let inits : (int, ivec) Hashtbl.t = Hashtbl.create 32 in
   let terms : (int, ivec) Hashtbl.t = Hashtbl.create 32 in
   let term_patterns = ref [] in
@@ -618,7 +577,7 @@ let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
           Telemetry.Metrics.incr m_rule_evals;
           Telemetry.Metrics.incr m_compiled_hit;
           Compiled.run_rule cr ~from:env.from ~until:env.until ~probe ~miss
-            ~emit:emit_init
+            ~emit:(traced_emit cr ~kind:Derivation.Init i r emit_init)
         | _ ->
           Telemetry.Metrics.incr m_compiled_miss;
           List.iter
@@ -631,7 +590,7 @@ let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
           Telemetry.Metrics.incr m_rule_evals;
           Telemetry.Metrics.incr m_compiled_hit;
           Compiled.run_rule cr ~from:env.from ~until:env.until ~probe ~miss
-            ~emit:emit_term
+            ~emit:(traced_emit cr ~kind:Derivation.Term i r emit_term)
         | _ ->
           Telemetry.Metrics.incr m_compiled_miss;
           let label = rule_label ind i r in
@@ -645,7 +604,10 @@ let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
       | _ -> ())
     rules;
   List.iter
-    (fun ((f, v), _origin) -> record inits (Intern.fvp_of_terms intern f v) (env.from - 1))
+    (fun ((f, v), origin) ->
+      record inits (Intern.fvp_of_terms intern f v) (env.from - 1);
+      if Derivation.recording () then
+        Derivation.record_carry ~origin ~fluent:f ~value:v ~time:(env.from - 1))
     carry;
   let all = Hashtbl.create 32 in
   Hashtbl.iter (fun id _ -> Hashtbl.replace all id ()) inits;
@@ -664,9 +626,12 @@ let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
         | Some v -> ivec_append stop_buf v
         | None -> ());
         List.iter
-          (fun (((pf, pv), t), _label) ->
+          (fun (((pf, pv), t), plabel) ->
             match Unify.unify pf fluent with
             | Some s when Option.is_some (Unify.unify ~subst:s pv value) ->
+              if Derivation.recording () then
+                Derivation.record_pattern ~rule:plabel ~pattern:(Term.eq pf pv) ~fluent
+                  ~value ~time:t;
               ivec_push stop_buf t
             | _ -> ())
           !term_patterns;
@@ -689,7 +654,7 @@ let evaluate_simple_compiled env (prog : Compiled.program) ~ind ~carry
 let evaluate_sd env ~ind (rules : Ast.rule list) =
   let results = ref FvpMap.empty in
   let skipped = ref [] in
-  let trace = Derivation.is_enabled () in
+  let trace = Derivation.recording () in
   List.iteri
     (fun i (r : Ast.rule) ->
         match Ast.kind_of_rule r with
@@ -710,15 +675,9 @@ let evaluate_sd env ~ind (rules : Ast.rule list) =
                   match Imap.find_opt iv imap with
                   | Some spans when not (Interval.is_empty spans) ->
                     if trace then
-                      Derivation.record
-                        (Derivation.Derived
-                           {
-                             fluent = f;
-                             value = v;
-                             rule = rule_label ind i r;
-                             spans = Interval.to_list spans;
-                             steps;
-                           });
+                      Derivation.record_derived ~fluent:f ~value:v
+                        ~rule:(rule_label ind i r) ~spans:(Interval.to_list spans)
+                        ~binds:(resolved_bindings s) ~steps;
                     results :=
                       FvpMap.update (f, v)
                         (fun o ->
@@ -786,10 +745,9 @@ let prepare_run ?(carry = []) ?(universe = []) ?input_from ?compiled ~event_desc
         let spans = Interval.clamp (input_from + 1) Interval.infinity spans in
         if not (Interval.is_empty spans) then begin
           Cache.add cache fv spans;
-          if Derivation.is_enabled () then
-            Derivation.record
-              (Derivation.Input
-                 { fluent = fst fv; value = snd fv; spans = Interval.to_list spans })
+          if Derivation.recording () then
+            Derivation.record_input ~fluent:(fst fv) ~value:(snd fv)
+              ~spans:(Interval.to_list spans)
         end)
       (Stream.input_fluents stream);
     let universe_tbl = Hashtbl.create 64 in
@@ -819,12 +777,14 @@ let evaluate_prepared p =
           let carry_here =
             List.filter (fun ((f, _), _) -> Term.indicator f = ind) p.p_carry
           in
-          (* Derivation recording needs the interpreter's trace hooks;
-             everything else runs the compiled chains when available. *)
+          (* Compiled chains run whether or not the recorder is on: the
+             emission sink produces the same compact records as the
+             interpreted path, so provenance no longer forces the
+             interpreter. *)
           (match p.p_compiled with
-          | Some prog when not (Derivation.is_enabled ()) ->
+          | Some prog ->
             evaluate_simple_compiled p.p_env prog ~ind ~carry:carry_here info.rules
-          | _ -> evaluate_simple p.p_env ~ind ~carry:carry_here info.rules);
+          | None -> evaluate_simple p.p_env ~ind ~carry:carry_here info.rules);
           evaluate rest
         | Dependency.Statically_determined -> (
           match evaluate_sd p.p_env ~ind info.rules with

@@ -47,9 +47,17 @@ val run :
 
     [compiled] is a rule program from {!Compiled.compile} (for this event
     description, knowledge base and stream): transition rules then run as
-    closure chains over interned terms, with bit-identical results. It is
-    ignored — the interpreter runs instead — while derivation recording
-    is enabled, whose trace hooks live on the interpreted path. *)
+    closure chains over interned terms, with bit-identical results — also
+    while derivation recording is enabled, when each compiled emission is
+    re-encoded through a {!Derivation.sink} into the same compact records
+    the interpreted path appends. *)
+
+val labelled_rules : Ast.t -> (string * Ast.rule) list
+(** Every transition and [holdsFor] rule of the event description, paired
+    with its provenance label (the parser-assigned rule id, or a
+    positional ["name/arity#i"] fallback) — the catalogue
+    [Derivation.events ~rules] needs to reconstruct proof steps from
+    compact records. *)
 
 val holds_at : result -> fvp -> int -> bool
 val intervals : result -> fvp -> Interval.t

@@ -80,7 +80,7 @@ let run ?window ?step ?extent ?(compile = true) ~event_description ~knowledge ~s
       in
       Telemetry.Metrics.incr m_queries;
       Telemetry.Metrics.incr (if delta_run then m_delta_runs else m_full_runs);
-      if Derivation.is_enabled () then Derivation.record (Derivation.Query { q; eval_from; window_start });
+      Derivation.record_query ~q ~eval_from ~window_start;
       Telemetry.Metrics.observe h_events (float_of_int window_events);
       Telemetry.Metrics.observe h_carry (float_of_int (List.length carry));
       let sp = Telemetry.Trace.start "window.query" in

@@ -92,6 +92,14 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
   if config.jobs < 1 then Result.Error "jobs must be positive"
   else begin
     Telemetry.Metrics.incr m_runs;
+    let finish outcome =
+      (* Recorder counters/gauges surface through the metrics registry
+         once per run; a no-op unless both recorder and metrics are on. *)
+      if Rtec.Derivation.is_enabled () then Rtec.Derivation.publish_metrics ();
+      outcome
+    in
+    finish
+    @@
     (* [jobs] is an upper bound on fan-out, not a demand: domains beyond
        the host's cores never help in OCaml 5 (every minor collection is
        a stop-the-world sync across domains, so oversubscription turns

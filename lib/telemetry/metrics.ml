@@ -245,6 +245,7 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  buckets : (float * int) list;
 }
 
 type snapshot = {
@@ -252,6 +253,20 @@ type snapshot = {
   gauges : (string * float) list;
   histograms : (string * summary) list;
 }
+
+(* Cumulative count at each occupied bucket's upper bound, smallest
+   first — exactly the shape a Prometheus histogram series wants. Empty
+   buckets are elided: cumulative exposition loses nothing by skipping
+   boundaries where the count did not change. *)
+let cumulative_buckets h =
+  let acc = ref [] and cum = ref 0 in
+  for b = 0 to buckets - 1 do
+    if h.h_buckets.(b) > 0 then begin
+      cum := !cum + h.h_buckets.(b);
+      acc := (bucket_upper b, !cum) :: !acc
+    end
+  done;
+  List.rev !acc
 
 let summarise h =
   {
@@ -263,6 +278,7 @@ let summarise h =
     p50 = quantile h 0.50;
     p90 = quantile h 0.90;
     p99 = quantile h 0.99;
+    buckets = cumulative_buckets h;
   }
 
 let snapshot () =
@@ -312,8 +328,9 @@ let write file = Json.write_file ~indent:true file (to_json ())
 
    Metric names here are dotted ("window.queries"); Prometheus names admit
    [a-zA-Z_:][a-zA-Z0-9_:]*, so every other character maps to '_'. The
-   log-scale histograms expose as summaries: the estimated quantiles plus
-   the exact _sum/_count pair. *)
+   log-scale histograms expose natively: one cumulative {le="..."} series
+   per occupied quarter-power-of-two boundary, the mandatory {le="+Inf"}
+   line, and the exact _sum/_count pair. *)
 
 let prom_name name =
   let sane c =
@@ -349,14 +366,16 @@ let snapshot_to_prometheus snap =
   List.iter
     (fun (name, s) ->
       let n = prom_name name in
-      metric n "summary"
-        [
-          Printf.sprintf "%s{quantile=\"0.5\"} %s" n (prom_float s.p50);
-          Printf.sprintf "%s{quantile=\"0.9\"} %s" n (prom_float s.p90);
-          Printf.sprintf "%s{quantile=\"0.99\"} %s" n (prom_float s.p99);
-          Printf.sprintf "%s_sum %s" n (prom_float s.sum);
-          Printf.sprintf "%s_count %d" n s.count;
-        ])
+      metric n "histogram"
+        (List.map
+           (fun (upper, cum) ->
+             Printf.sprintf "%s_bucket{le=\"%s\"} %d" n (prom_float upper) cum)
+           s.buckets
+        @ [
+            Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n s.count;
+            Printf.sprintf "%s_sum %s" n (prom_float s.sum);
+            Printf.sprintf "%s_count %d" n s.count;
+          ]))
     snap.histograms;
   Buffer.contents buf
 

@@ -62,6 +62,9 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  buckets : (float * int) list;
+      (** cumulative sample count at each occupied bucket's upper bound,
+          smallest bound first (empty buckets elided) *)
 }
 
 type snapshot = {
@@ -79,8 +82,10 @@ val write : string -> unit
 
 val snapshot_to_prometheus : snapshot -> string
 (** Prometheus 0.0.4 text exposition: counters and gauges verbatim,
-    histograms as summaries (estimated quantiles plus exact _sum/_count).
-    Dotted metric names map to underscores. *)
+    histograms as native histograms — cumulative [{le="..."}] bucket
+    lines at the occupied log-scale bucket boundaries, the mandatory
+    [{le="+Inf"}] line, and the exact _sum/_count pair. Dotted metric
+    names map to underscores. *)
 
 val to_prometheus : unit -> string
 

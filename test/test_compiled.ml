@@ -129,28 +129,50 @@ let test_counter_parity () =
   Alcotest.(check bool) "compiled rules actually ran" true (compiled_c > 0);
   Alcotest.(check int) "interpreter never hits compiled code" 0 compiled_i
 
-(* With the derivation recorder on, the engine must ignore the compiled
-   program (the trace hooks live on the interpreted path), so a
-   compile:true run records exactly the interpreter's proof trees. *)
-let test_derivation_identical () =
-  let stream, knowledge = Fleet.generate () in
-  let ed = Domain.event_description Fleet.domain in
+(* With the derivation recorder on, the compiled evaluator emits the same
+   compact records, in the same order, as the interpreter (rule emissions
+   through the sink, carries, patterns), so a compile:true run decodes to
+   exactly the interpreter's proof trees — including the lazily
+   reconstructed per-condition step trails. The compiled chains must
+   actually run (no silent interpreter fallback while recording). *)
+let derivation_identical ~event_description ~knowledge ~stream () =
+  let rules = Engine.labelled_rules event_description in
   let traced compile =
     Derivation.reset ();
     Derivation.enable ();
+    Telemetry.Metrics.reset ();
+    Telemetry.Metrics.enable ();
     Fun.protect
       ~finally:(fun () ->
+        Telemetry.Metrics.disable ();
+        Telemetry.Metrics.reset ();
         Derivation.disable ();
         Derivation.reset ())
       (fun () ->
-        let result = window_run ~compile ~event_description:ed ~knowledge ~stream () in
-        (result, Derivation.events ()))
+        let result = window_run ~compile ~event_description ~knowledge ~stream () in
+        let snap = Telemetry.Metrics.snapshot () in
+        let hits =
+          Option.value ~default:0 (Telemetry.Metrics.find_counter snap "engine.compiled.hit")
+        in
+        (result, Derivation.events ~rules (), hits))
   in
-  let rc, events_c = traced true in
-  let ri, events_i = traced false in
+  let rc, events_c, hits_c = traced true in
+  let ri, events_i, hits_i = traced false in
   check_identical "derivation on" rc ri;
   Alcotest.(check bool) "derivation recorded" true (events_c <> []);
-  Alcotest.(check bool) "identical derivation records" true (events_c = events_i)
+  Alcotest.(check bool) "identical derivation records" true (events_c = events_i);
+  Alcotest.(check bool) "compiled chains ran while recording" true (hits_c > 0);
+  Alcotest.(check int) "interpreter never hits compiled code" 0 hits_i
+
+let test_derivation_identical_fleet () =
+  let stream, knowledge = Fleet.generate () in
+  derivation_identical ~event_description:(Domain.event_description Fleet.domain) ~knowledge
+    ~stream ()
+
+let test_derivation_identical_maritime () =
+  let d = Lazy.force maritime_dataset in
+  derivation_identical ~event_description:Maritime.Gold.event_description
+    ~knowledge:d.Maritime.Dataset.knowledge ~stream:d.Maritime.Dataset.stream ()
 
 (* --- randomised streams --- *)
 
@@ -269,7 +291,10 @@ let suite =
     Alcotest.test_case "gold catalogue compiles" `Quick test_gold_compiles;
     Alcotest.test_case "sharded runs: compiled = interpreted" `Slow test_sharded;
     Alcotest.test_case "telemetry counter parity" `Slow test_counter_parity;
-    Alcotest.test_case "derivation records identical" `Quick test_derivation_identical;
+    Alcotest.test_case "derivation records identical (fleet)" `Quick
+      test_derivation_identical_fleet;
+    Alcotest.test_case "derivation records identical (maritime)" `Slow
+      test_derivation_identical_maritime;
     Alcotest.test_case "intern round-trip" `Quick test_intern_roundtrip;
     Alcotest.test_case "intern fvp ids" `Quick test_intern_fvp;
     Alcotest.test_case "intern id stability" `Quick test_intern_stability;

@@ -1,0 +1,185 @@
+(* The compact derivation recorder itself: bounded ring-buffer
+   wrap-around (oldest records evicted, survivors still decodable, in
+   order), deterministic window sampling under fixed seeds (the decision
+   is a pure function of (seed, q), so repeated runs — and every shard
+   of a sharded run — agree), and the exact per-shard merge of compact
+   records at the Runtime join. *)
+
+open Rtec
+
+(* Every test restores the recorder to its defaults: the other suites
+   share the process-global buffer. *)
+let scoped f =
+  Derivation.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Derivation.disable ();
+      Derivation.set_sampling Derivation.Always;
+      Derivation.set_capacity (1 lsl 20);
+      Derivation.reset ())
+    f
+
+let maritime_dataset =
+  lazy (Maritime.Dataset.generate ~config:{ seed = 7; replicas = 1; nominal = 2 } ())
+
+let fleet_data = lazy (Fleet.generate ())
+
+(* --- ring-buffer wrap-around --- *)
+
+let test_ring_wraparound () =
+  scoped (fun () ->
+      (* A carry record is 5 words: 64 words hold at most 12 records. *)
+      Derivation.set_capacity 64;
+      Derivation.reset ();
+      Derivation.enable ();
+      let f = Term.app "f" [] and v = Term.app "true" [] in
+      for t = 1 to 100 do
+        Derivation.record_carry ~origin:"carry" ~fluent:f ~value:v ~time:t
+      done;
+      let s = Derivation.stats () in
+      Alcotest.(check int) "every append counted" 100 s.Derivation.records;
+      Alcotest.(check bool) "oldest records evicted" true (s.Derivation.evicted > 0);
+      Alcotest.(check bool) "retention stays bounded" true
+        (s.Derivation.retained_words <= 64);
+      let times =
+        Derivation.events ()
+        |> List.filter_map (function
+             | Derivation.Transition { time; _ } -> Some time
+             | _ -> None)
+      in
+      Alcotest.(check int) "retained = appended - evicted"
+        (100 - s.Derivation.evicted) (List.length times);
+      (* the survivors are exactly the newest records, still in order *)
+      let n = List.length times in
+      Alcotest.(check (list int)) "newest suffix, in append order"
+        (List.init n (fun i -> 100 - n + 1 + i))
+        times)
+
+let test_oversized_record_dropped () =
+  scoped (fun () ->
+      Derivation.set_capacity 16;
+      Derivation.reset ();
+      Derivation.enable ();
+      let f = Term.app "f" [] and v = Term.app "true" [] in
+      (* 3 + 2*20 words > 16: can never fit, must be dropped (counted as
+         evicted), not loop forever evicting an empty ring. *)
+      Derivation.record_input ~fluent:f ~value:v
+        ~spans:(List.init 20 (fun i -> (i, i + 1)));
+      let s = Derivation.stats () in
+      Alcotest.(check int) "oversized record dropped" 1 s.Derivation.evicted;
+      Alcotest.(check (list unit)) "nothing retained" []
+        (List.map ignore (Derivation.events ())))
+
+(* --- sampling determinism --- *)
+
+let sampled_queries ~jobs ?shards ~sampling ~event_description ~knowledge ~stream () =
+  scoped (fun () ->
+      Derivation.set_sampling sampling;
+      Derivation.enable ();
+      let config = Runtime.config ~window:3600 ~step:1800 ~jobs ?shards () in
+      match Runtime.run ~config ~event_description ~knowledge ~stream () with
+      | Error e -> Alcotest.failf "run failed: %s" e
+      | Ok (_, stats) ->
+        let qs =
+          Derivation.events ()
+          |> List.filter_map (function
+               | Derivation.Query { q; _ } -> Some q
+               | _ -> None)
+        in
+        (stats, Derivation.stats (), List.sort_uniq compare qs))
+
+let test_sampling_determinism () =
+  let stream, knowledge = Lazy.force fleet_data in
+  let ed = Domain.event_description Fleet.domain in
+  let run ~jobs ?shards ~sampling () =
+    sampled_queries ~jobs ?shards ~sampling ~event_description:ed ~knowledge ~stream ()
+  in
+  let full_stats, full_rec, full_qs = run ~jobs:1 ~sampling:Derivation.Always () in
+  Alcotest.(check int) "Always samples every window" full_stats.Runtime.queries
+    full_rec.Derivation.windows_sampled;
+  Alcotest.(check int) "and skips none" 0 full_rec.Derivation.windows_skipped;
+  (* Find a seed whose 1-in-3 subset is proper, so the assertions below
+     cannot pass vacuously; the decision is Hashtbl.hash-based, so some
+     seed in a small range always gives one. *)
+  let sampling =
+    let rec find seed =
+      if seed > 16 then Alcotest.fail "no seed gives a proper 1-in-3 subset"
+      else
+        let s = Derivation.One_in { n = 3; seed } in
+        let _, r, _ = run ~jobs:1 ~sampling:s () in
+        if
+          r.Derivation.windows_sampled > 0
+          && r.Derivation.windows_skipped > 0
+        then s
+        else find (seed + 1)
+    in
+    find 0
+  in
+  let _, rec1, qs1 = run ~jobs:1 ~sampling () in
+  let _, rec2, qs2 = run ~jobs:1 ~sampling () in
+  Alcotest.(check (list int)) "same seed, same windows" qs1 qs2;
+  Alcotest.(check int) "same seed, same counts" rec1.Derivation.windows_sampled
+    rec2.Derivation.windows_sampled;
+  Alcotest.(check int) "every window decided"
+    (full_stats.Runtime.queries)
+    (rec1.Derivation.windows_sampled + rec1.Derivation.windows_skipped);
+  Alcotest.(check bool) "proper subset" true
+    (List.length qs1 < List.length full_qs && qs1 <> []);
+  (* Every shard of a sharded run makes the same decision per window:
+     the sampled query-time set is unchanged, the per-shard counters are
+     an exact multiple of the sequential ones. *)
+  let _, rec4, qs4 = run ~jobs:4 ~shards:4 ~sampling () in
+  Alcotest.(check (list int)) "shards agree on the sampled windows" qs1 qs4;
+  let per_window = rec1.Derivation.windows_sampled + rec1.Derivation.windows_skipped in
+  let par_total = rec4.Derivation.windows_sampled + rec4.Derivation.windows_skipped in
+  Alcotest.(check bool) "per-shard decisions are a multiple of the grid" true
+    (par_total mod per_window = 0
+    && rec4.Derivation.windows_sampled = par_total / per_window * rec1.Derivation.windows_sampled)
+
+(* --- exact shard merge --- *)
+
+let recorded_events ~jobs ?shards ~event_description ~knowledge ~stream () =
+  scoped (fun () ->
+      Derivation.enable ();
+      let config = Runtime.config ~window:3600 ~step:1800 ~jobs ?shards () in
+      match Runtime.run ~config ~event_description ~knowledge ~stream () with
+      | Error e -> Alcotest.failf "run failed: %s" e
+      | Ok _ -> Derivation.events ())
+
+let shard_merge_exact ~event_description ~knowledge ~stream () =
+  let seq = recorded_events ~jobs:1 ~event_description ~knowledge ~stream () in
+  let par = recorded_events ~jobs:4 ~shards:4 ~event_description ~knowledge ~stream () in
+  let queries evs =
+    List.length (List.filter (function Derivation.Query _ -> true | _ -> false) evs)
+  in
+  let strip evs =
+    List.filter (function Derivation.Query _ -> false | _ -> true) evs
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "sequential run recorded" true (seq <> []);
+  (* Entity-disjoint shards derive disjoint records; the id-translating
+     merge at join must reassemble exactly the sequential multiset. *)
+  Alcotest.(check bool) "identical merged records" true (strip seq = strip par);
+  (* every shard walks the full query grid, stamping its own markers *)
+  Alcotest.(check bool) "per-shard query markers" true
+    (queries seq > 0 && queries par mod queries seq = 0 && queries par >= queries seq)
+
+let test_shard_merge_maritime () =
+  let d = Lazy.force maritime_dataset in
+  shard_merge_exact ~event_description:Maritime.Gold.event_description
+    ~knowledge:d.Maritime.Dataset.knowledge ~stream:d.Maritime.Dataset.stream ()
+
+let test_shard_merge_fleet () =
+  let stream, knowledge = Lazy.force fleet_data in
+  shard_merge_exact ~event_description:(Domain.event_description Fleet.domain) ~knowledge
+    ~stream ()
+
+let suite =
+  [
+    Alcotest.test_case "ring buffer wraps, evicting oldest" `Quick test_ring_wraparound;
+    Alcotest.test_case "oversized record is dropped" `Quick test_oversized_record_dropped;
+    Alcotest.test_case "sampling is deterministic under a fixed seed" `Slow
+      test_sampling_determinism;
+    Alcotest.test_case "shard merge is exact (maritime)" `Slow test_shard_merge_maritime;
+    Alcotest.test_case "shard merge is exact (fleet)" `Slow test_shard_merge_fleet;
+  ]

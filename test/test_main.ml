@@ -17,6 +17,7 @@ let () =
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);
       ("telemetry", Test_telemetry.suite);
+      ("derivation", Test_derivation.suite);
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
     ]

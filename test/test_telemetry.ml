@@ -345,10 +345,19 @@ let test_metrics_prometheus () =
       Alcotest.(check bool) "counter line" true (has "test_prom_counter 7");
       Alcotest.(check bool) "counter type" true (has "# TYPE test_prom_counter counter");
       Alcotest.(check bool) "gauge name sanitised" true (has "test_prom_gauge 2.5");
-      Alcotest.(check bool) "summary sum" true (has "test_prom_histogram_sum 30");
-      Alcotest.(check bool) "summary count" true (has "test_prom_histogram_count 2");
-      Alcotest.(check bool) "summary quantile" true
-        (has "test_prom_histogram{quantile=\"0.5\"}");
+      Alcotest.(check bool) "histogram sum" true (has "test_prom_histogram_sum 30");
+      Alcotest.(check bool) "histogram count" true (has "test_prom_histogram_count 2");
+      Alcotest.(check bool) "histogram type" true
+        (has "# TYPE test_prom_histogram histogram");
+      (* 10. and 20. land in the buckets bounded by 2^3.5 and 2^4.5;
+         cumulative counts, then the mandatory +Inf series *)
+      Alcotest.(check bool) "first bucket cumulative" true
+        (has "test_prom_histogram_bucket{le=\"11.313708498984761\"} 1");
+      Alcotest.(check bool) "second bucket cumulative" true
+        (has "test_prom_histogram_bucket{le=\"22.627416997969522\"} 2");
+      Alcotest.(check bool) "+Inf closes the series" true
+        (has "test_prom_histogram_bucket{le=\"+Inf\"} 2");
+      Alcotest.(check bool) "no quantile series" false (has "{quantile=");
       (* exposition-format sanity: every non-comment line is "name[{labels}] value" *)
       String.split_on_char '\n' text
       |> List.iter (fun line ->
