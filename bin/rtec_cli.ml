@@ -2,6 +2,9 @@
 
    - [recognise] loads an event description, background knowledge and an
      event stream from files and prints the recognised maximal intervals;
+   - [serve] runs a long-lived recognition session over a live feed
+     (stdin or one TCP connection), with out-of-order revision and
+     periodic emission;
    - [check] parses an event description and reports diagnostics;
    - [dataset] writes the synthetic maritime dataset to files usable by
      [recognise].
@@ -84,6 +87,107 @@ let telemetry_setup ~trace ~metrics ~metrics_format =
 
 let telemetry_write = telemetry_flush
 
+(* --- recognition flags shared by [recognise] and [serve] ---
+
+   One reusable Cmdliner term, so the two subcommands cannot drift: the
+   same flag names, docs and defaults by construction. *)
+
+type recognition_flags = {
+  knowledge : string option;
+  window : int option;
+  step : int option;
+  jobs : int;
+  shards : int option;
+  interpret : bool;
+  provenance : string option;
+}
+
+let recognition_flags =
+  let kb_arg =
+    Arg.(value & opt (some file) None & info [ "knowledge"; "k" ] ~docv:"FILE"
+           ~doc:"Background knowledge facts.")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None & info [ "window"; "w" ] ~docv:"SECONDS"
+           ~doc:"Sliding window size; omit for a single query over the whole stream.")
+  in
+  let step_arg =
+    Arg.(value & opt (some int) None & info [ "step"; "s" ] ~docv:"SECONDS"
+           ~doc:"Query step (defaults to the window size).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains: shard the stream by entity and recognise the \
+                 shards in parallel. The result is bit-identical to --jobs 1.")
+  in
+  let shards_arg =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard-count override (defaults to --jobs); more shards than \
+                 jobs gives finer load balancing. (serve shards dynamically, \
+                 one entity component per shard, and ignores this flag.)")
+  in
+  let interpret_arg =
+    Arg.(value & flag & info [ "interpret" ]
+           ~doc:"Skip rule compilation and run the tree-walking evaluator — the \
+                 differential oracle. The result is bit-identical to the default \
+                 compiled run.")
+  in
+  let provenance_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "always") (some string) None
+      & info [ "provenance" ] ~docv:"MODE"
+          ~doc:"Record compact derivation provenance during recognition: \
+                $(b,always) (the default when the flag is given bare), \
+                $(b,sample:N) (a deterministic 1-in-N window subset) or \
+                $(b,sample:N:SEED). Recognition output is unchanged; recorder \
+                stats are printed as a comment line.")
+  in
+  let mk knowledge window step jobs shards interpret provenance =
+    { knowledge; window; step; jobs; shards; interpret; provenance }
+  in
+  Term.(
+    const mk $ kb_arg $ window_arg $ step_arg $ jobs_arg $ shards_arg $ interpret_arg
+    $ provenance_arg)
+
+let parse_provenance spec =
+  match String.split_on_char ':' spec with
+  | [ "always" ] -> Rtec.Derivation.Always
+  | [ "sample"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Rtec.Derivation.One_in { n; seed = 0 }
+    | _ ->
+      Printf.eprintf "invalid --provenance sample count: %s\n" spec;
+      exit 2)
+  | [ "sample"; n; seed ] -> (
+    match (int_of_string_opt n, int_of_string_opt seed) with
+    | Some n, Some seed when n > 0 -> Rtec.Derivation.One_in { n; seed }
+    | _ ->
+      Printf.eprintf "invalid --provenance sample spec: %s\n" spec;
+      exit 2)
+  | _ ->
+    Printf.eprintf "invalid --provenance mode: %s (expected always or sample:N[:SEED])\n"
+      spec;
+    exit 2
+
+let load_event_description file =
+  match Rtec.Parser.parse_clauses_result (read_file file) with
+  | Error e ->
+    Printf.eprintf "parse error in %s: %s\n" file e;
+    exit 1
+  | Ok rules -> [ { Rtec.Ast.name = Filename.basename file; rules } ]
+
+let load_knowledge = function
+  | None -> Rtec.Knowledge.empty
+  | Some f -> Rtec.Knowledge.of_source (read_file f)
+
+let print_provenance_stats fmt =
+  let s = Rtec.Derivation.stats () in
+  Format.fprintf fmt
+    "%% provenance: %d records (%d evicted), %d/%d windows sampled, %d KiB retained@."
+    s.Rtec.Derivation.records s.Rtec.Derivation.evicted s.Rtec.Derivation.windows_sampled
+    (s.Rtec.Derivation.windows_sampled + s.Rtec.Derivation.windows_skipped)
+    (s.Rtec.Derivation.retained_words * (Sys.word_size / 8) / 1024)
 
 (* --- check --- *)
 
@@ -125,138 +229,232 @@ let recognise_cmd =
      [Stream.append], so the telemetry snapshot reports how the input
      was assembled (stream.appends, stream.append_events). *)
   let stream_arg = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"STREAM") in
-  let kb_arg =
-    Arg.(value & opt (some file) None & info [ "knowledge"; "k" ] ~docv:"FILE"
-           ~doc:"Background knowledge facts.")
-  in
-  let window_arg =
-    Arg.(value & opt (some int) None & info [ "window"; "w" ] ~docv:"SECONDS"
-           ~doc:"Sliding window size; omit for a single query over the whole stream.")
-  in
-  let step_arg =
-    Arg.(value & opt (some int) None & info [ "step"; "s" ] ~docv:"SECONDS"
-           ~doc:"Query step (defaults to the window size).")
-  in
   let fluent_arg =
     Arg.(value & opt (some string) None & info [ "fluent"; "f" ] ~docv:"NAME/ARITY"
            ~doc:"Only print instances of this fluent, e.g. trawling/1.")
   in
-  let jobs_arg =
-    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Worker domains: shard the stream by entity and recognise the \
-                 shards in parallel. The result is bit-identical to --jobs 1.")
-  in
-  let shards_arg =
-    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
-           ~doc:"Shard-count override (defaults to --jobs); more shards than \
-                 jobs gives finer load balancing.")
-  in
-  let interpret_arg =
-    Arg.(value & flag & info [ "interpret" ]
-           ~doc:"Skip rule compilation and run the tree-walking evaluator — the \
-                 differential oracle. The result is bit-identical to the default \
-                 compiled run.")
-  in
-  let provenance_arg =
-    Arg.(
-      value
-      & opt ~vopt:(Some "always") (some string) None
-      & info [ "provenance" ] ~docv:"MODE"
-          ~doc:"Record compact derivation provenance during recognition: \
-                $(b,always) (the default when the flag is given bare), \
-                $(b,sample:N) (a deterministic 1-in-N window subset) or \
-                $(b,sample:N:SEED). Recognition output is unchanged; recorder \
-                stats are printed as a comment line.")
-  in
-  let parse_provenance spec =
-    match String.split_on_char ':' spec with
-    | [ "always" ] -> Rtec.Derivation.Always
-    | [ "sample"; n ] -> (
-      match int_of_string_opt n with
-      | Some n when n > 0 -> Rtec.Derivation.One_in { n; seed = 0 }
-      | _ ->
-        Printf.eprintf "invalid --provenance sample count: %s\n" spec;
-        exit 2)
-    | [ "sample"; n; seed ] -> (
-      match (int_of_string_opt n, int_of_string_opt seed) with
-      | Some n, Some seed when n > 0 -> Rtec.Derivation.One_in { n; seed }
-      | _ ->
-        Printf.eprintf "invalid --provenance sample spec: %s\n" spec;
-        exit 2)
-    | _ ->
-      Printf.eprintf "invalid --provenance mode: %s (expected always or sample:N[:SEED])\n"
-        spec;
-      exit 2
-  in
-  let run ed_file stream_files kb_file window step jobs shards fluent interpret provenance
-      trace metrics metrics_format =
+  let run ed_file stream_files (flags : recognition_flags) fluent trace metrics
+      metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
-    match Rtec.Parser.parse_clauses_result (read_file ed_file) with
+    let ed = load_event_description ed_file in
+    let knowledge = load_knowledge flags.knowledge in
+    let stream =
+      Rtec.Stream.of_batches
+        (List.map (fun f -> Rtec.Io.stream_of_string (read_file f)) stream_files)
+    in
+    let config =
+      Runtime.config ?window:flags.window ?step:flags.step ~jobs:flags.jobs
+        ?shards:flags.shards ~compile:(not flags.interpret) ()
+    in
+    let outcome =
+      match flags.provenance with
+      | None -> Runtime.run ~config ~event_description:ed ~knowledge ~stream ()
+      | Some spec ->
+        let sampling = parse_provenance spec in
+        Result.map
+          (fun (run : Provenance.run) -> (run.Provenance.result, run.Provenance.stats))
+          (Provenance.recognise ~config ~sampling ~event_description:ed ~knowledge
+             ~stream ())
+    in
+    match outcome with
     | Error e ->
-      Printf.eprintf "parse error in %s: %s\n" ed_file e;
+      Printf.eprintf "recognition failed: %s\n" e;
       exit 1
-    | Ok rules -> (
-      let ed = [ { Rtec.Ast.name = Filename.basename ed_file; rules } ] in
-      let knowledge =
-        match kb_file with
-        | None -> Rtec.Knowledge.empty
-        | Some f -> Rtec.Knowledge.of_source (read_file f)
+    | Ok (result, stats) ->
+      telemetry_write ~trace ~metrics ~metrics_format;
+      Format.printf "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
+        stats.queries stats.events_processed stats.shards stats.jobs;
+      if Option.is_some flags.provenance then print_provenance_stats Format.std_formatter;
+      let selected =
+        match fluent with
+        | None -> result
+        | Some spec -> (
+          match String.split_on_char '/' spec with
+          | [ name; arity ] -> Rtec.Engine.find_fluent result (name, int_of_string arity)
+          | _ -> failwith "expected NAME/ARITY")
       in
-      let stream =
-        Rtec.Stream.of_batches
-          (List.map (fun f -> Rtec.Io.stream_of_string (read_file f)) stream_files)
-      in
-      let config = Runtime.config ?window ?step ~jobs ?shards ~compile:(not interpret) () in
-      let outcome =
-        match provenance with
-        | None -> Runtime.run ~config ~event_description:ed ~knowledge ~stream ()
-        | Some spec ->
-          let sampling = parse_provenance spec in
-          Result.map
-            (fun (run : Provenance.run) -> (run.Provenance.result, run.Provenance.stats))
-            (Provenance.recognise ~config ~sampling ~event_description:ed ~knowledge
-               ~stream ())
-      in
-      match outcome with
-      | Error e ->
-        Printf.eprintf "recognition failed: %s\n" e;
-        exit 1
-      | Ok (result, stats) ->
-        telemetry_write ~trace ~metrics ~metrics_format;
-        Format.printf "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
-          stats.queries stats.events_processed stats.shards stats.jobs;
-        if Option.is_some provenance then begin
-          let s = Rtec.Derivation.stats () in
-          Format.printf
-            "%% provenance: %d records (%d evicted), %d/%d windows sampled, %d KiB retained@."
-            s.Rtec.Derivation.records s.Rtec.Derivation.evicted
-            s.Rtec.Derivation.windows_sampled
-            (s.Rtec.Derivation.windows_sampled + s.Rtec.Derivation.windows_skipped)
-            (s.Rtec.Derivation.retained_words * (Sys.word_size / 8) / 1024)
-        end;
-        let selected =
-          match fluent with
-          | None -> result
-          | Some spec -> (
-            match String.split_on_char '/' spec with
-            | [ name; arity ] ->
-              Rtec.Engine.find_fluent result (name, int_of_string arity)
-            | _ -> failwith "expected NAME/ARITY")
-        in
-        List.iter
-          (fun ((f, v), spans) ->
-            Format.printf "holdsFor(%a = %a, %a).@." Rtec.Term.pp f Rtec.Term.pp v
-              Rtec.Interval.pp spans)
-          selected)
+      List.iter
+        (fun ((f, v), spans) ->
+          Format.printf "holdsFor(%a = %a, %a).@." Rtec.Term.pp f Rtec.Term.pp v
+            Rtec.Interval.pp spans)
+        selected
   in
   Cmd.v
     (Cmd.info "recognise"
        ~doc:"Run the engine over one or more stream files (appended in argument \
              order) and print maximal intervals.")
     Term.(
-      const run $ ed_arg $ stream_arg $ kb_arg $ window_arg $ step_arg $ jobs_arg
-      $ shards_arg $ fluent_arg $ interpret_arg $ provenance_arg $ trace_arg $ metrics_arg
-      $ metrics_format_arg)
+      const run $ ed_arg $ stream_arg $ recognition_flags $ fluent_arg $ trace_arg
+      $ metrics_arg $ metrics_format_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let ed_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENT_DESCRIPTION")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 0 & info [ "horizon" ] ~docv:"SECONDS"
+           ~doc:"Revision horizon: accept an out-of-order event up to this far \
+                 behind the last query, rolling the affected entity's state back \
+                 and re-evaluating the overlapping windows. Older events are \
+                 counted and dropped. Default 0: drop every late event.")
+  in
+  let ttl_arg =
+    Arg.(value & opt (some int) None & info [ "ttl" ] ~docv:"SECONDS"
+           ~doc:"Evict an entity's working state once no event has arrived for \
+                 it in this long (clamped to at least one window). Its \
+                 recognised intervals stay in the emitted result.")
+  in
+  let listen_arg =
+    Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT"
+           ~doc:"Accept one TCP connection on 127.0.0.1:PORT and serve it \
+                 instead of stdin/stdout.")
+  in
+  let tick_every_arg =
+    Arg.(value & opt (some int) None & info [ "tick-every" ] ~docv:"SECONDS"
+           ~doc:"Advance the query grid whenever the event-time watermark has \
+                 moved this far since the last tick. Default: tick only on \
+                 $(b,tick(T).) control lines and at end of input.")
+  in
+  let emit_arg =
+    Arg.(
+      value
+      & opt (enum [ ("final", `Final); ("ticks", `Ticks) ]) `Final
+      & info [ "emit" ] ~docv:"WHEN"
+          ~doc:"When to emit recognised intervals: $(b,final) (once, at end of \
+                input — the same output recognise prints) or $(b,ticks) (a full \
+                snapshot after every tick, each preceded by a '% tick' comment \
+                line).")
+  in
+  let run ed_file (flags : recognition_flags) horizon ttl listen tick_every emit trace
+      metrics metrics_format =
+    telemetry_setup ~trace ~metrics ~metrics_format;
+    Option.iter
+      (fun spec ->
+        Rtec.Derivation.enable ();
+        Rtec.Derivation.set_sampling (parse_provenance spec))
+      flags.provenance;
+    let ed = load_event_description ed_file in
+    let knowledge = load_knowledge flags.knowledge in
+    let svc =
+      Runtime.Service.create
+        ~config:
+          (Runtime.Service.config ?window:flags.window ?step:flags.step ~jobs:flags.jobs
+             ~compile:(not flags.interpret) ~horizon ?ttl ())
+        ~event_description:ed ~knowledge ()
+    in
+    let ic, oc, cleanup =
+      match listen with
+      | None -> (stdin, stdout, fun () -> ())
+      | Some port ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen sock 1;
+        Printf.eprintf "listening on 127.0.0.1:%d\n%!" port;
+        let conn, _ = Unix.accept sock in
+        ( Unix.in_channel_of_descr conn,
+          Unix.out_channel_of_descr conn,
+          fun () ->
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            try Unix.close sock with Unix.Unix_error _ -> () )
+    in
+    let fmt = Format.formatter_of_out_channel oc in
+    let emit_intervals (r : Runtime.Service.result) =
+      List.iter
+        (fun ((f, v), spans) ->
+          Format.fprintf fmt "holdsFor(%a = %a, %a).@." Rtec.Term.pp f Rtec.Term.pp v
+            Rtec.Interval.pp spans)
+        r.intervals;
+      Format.pp_print_flush fmt ();
+      flush oc
+    in
+    let fail e =
+      cleanup ();
+      Printf.eprintf "recognition failed: %s\n" e;
+      exit 1
+    in
+    (* Live telemetry: refresh the --metrics snapshot at every tick, so a
+       scraper sees current counters while the service runs. *)
+    let snapshot_metrics () =
+      Option.iter
+        (match metrics_format with
+        | `Json -> Telemetry.Metrics.write
+        | `Prom -> Telemetry.Metrics.write_prometheus)
+        metrics
+    in
+    let last_tick = ref None in
+    let tick ~now =
+      match Runtime.Service.tick svc ~now with
+      | Error e -> fail e
+      | Ok r ->
+        last_tick := Some now;
+        snapshot_metrics ();
+        if emit = `Ticks then begin
+          Format.fprintf fmt "%% tick %d: %d queries, %d entity shard(s), watermark %s@."
+            now r.stats.queries r.stats.buckets
+            (match r.watermark with None -> "-" | Some w -> string_of_int w);
+          emit_intervals r
+        end
+    in
+    let ingest_line line =
+      match Rtec.Io.items_of_string line with
+      | items -> (
+        Runtime.Service.ingest svc items;
+        match (tick_every, Runtime.Service.watermark svc) with
+        | Some n, Some wm
+          when (match !last_tick with None -> true | Some t -> wm >= t + n) ->
+          tick ~now:wm
+        | _ -> ())
+      | exception (Invalid_argument msg | Failure msg) ->
+        Printf.eprintf "ignoring bad input line: %s\n%!" msg
+    in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line = "" || line.[0] = '%' then ()
+         else
+           match Scanf.sscanf_opt line "tick(%d)." (fun t -> t) with
+           | Some t -> tick ~now:t
+           | None -> ingest_line line
+       done
+     with End_of_file -> ());
+    (match Runtime.Service.drain svc with
+    | Error e -> fail e
+    | Ok r ->
+      telemetry_write ~trace ~metrics ~metrics_format;
+      let s = r.stats in
+      Format.fprintf fmt "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
+        s.queries s.events_processed s.buckets s.jobs;
+      Format.fprintf fmt
+        "%% %d appends, %d late events (%d dropped), %d revisions, %d active / %d \
+         evicted entities@."
+        s.appends s.late_events s.dropped_late s.revisions s.entities_active
+        s.entities_evicted;
+      if Option.is_some flags.provenance then print_provenance_stats fmt;
+      emit_intervals r);
+    cleanup ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a long-lived recognition session over a live feed: stream facts \
+             arrive as happensAt/holdsFor lines on stdin (or one TCP connection \
+             with --listen), the query grid advances on tick(T). control lines, \
+             --tick-every watermark progress, or end of input, and recognised \
+             intervals are emitted incrementally (--emit ticks) or once at the \
+             end. Out-of-order events within --horizon trigger revision of the \
+             affected entity's windows; idle entities are evicted after --ttl."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "rtec dataset -o /tmp/ais && \\";
+           `P "  rtec serve /tmp/ais.ed -k /tmp/ais.kb -w 3600 --horizon 600 \\";
+           `P "    --emit ticks --tick-every 3600 < /tmp/ais.stream";
+         ])
+    Term.(
+      const run $ ed_arg $ recognition_flags $ horizon_arg $ ttl_arg $ listen_arg
+      $ tick_every_arg $ emit_arg $ trace_arg $ metrics_arg $ metrics_format_arg)
 
 (* --- explain --- *)
 
@@ -424,4 +622,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rtec" ~doc)
-          [ check_cmd; recognise_cmd; explain_cmd; dataset_cmd ]))
+          [ check_cmd; recognise_cmd; serve_cmd; explain_cmd; dataset_cmd ]))

@@ -59,6 +59,19 @@ grep -q '"Speed > HcNearCoastMax"' "$EXPLAIN_DIR/explain.json" \
 dune exec bin/rtec_cli.exe -- explain "$EXPLAIN_DIR/ds.ed" "$EXPLAIN_DIR/ds.ed" \
   "$EXPLAIN_DIR/ds.stream" -k "$EXPLAIN_DIR/ds.kb" > /dev/null \
   || { echo "explain smoke: self-diff should not diverge"; exit 1; }
+# Serve smoke: the streaming session must answer exactly like the batch
+# path. Pipe the maritime stream through `rtec_cli serve` line by line —
+# out-of-order tolerant, ticking on watermark progress — and require the
+# emitted intervals to be byte-identical to `recognise` over the same
+# files (comment lines carry run stats and differ by design).
+dune exec bin/rtec_cli.exe -- recognise "$EXPLAIN_DIR/ds.ed" "$EXPLAIN_DIR/ds.stream" \
+  -k "$EXPLAIN_DIR/ds.kb" -w 3600 -s 1800 | grep -v '^%' > "$EXPLAIN_DIR/batch.out"
+dune exec bin/rtec_cli.exe -- serve "$EXPLAIN_DIR/ds.ed" -k "$EXPLAIN_DIR/ds.kb" \
+  -w 3600 -s 1800 --horizon 1800 --tick-every 1800 < "$EXPLAIN_DIR/ds.stream" \
+  | grep -v '^%' > "$EXPLAIN_DIR/serve.out"
+diff "$EXPLAIN_DIR/batch.out" "$EXPLAIN_DIR/serve.out" \
+  || { echo "serve smoke: serve output diverges from recognise"; exit 1; }
+
 # The multicore smoke row embeds the jobs value in its name, so the
 # drift gate only ever compares it against a baseline recorded with the
 # same fan-out; the sequential rows are checked as before.

@@ -1,7 +1,14 @@
-(* Online operation: instead of handing the whole stream to Rtec.Window,
-   drive the engine query by query as batches of AIS messages "arrive",
-   carrying fluent states across window boundaries — the run-time loop a
-   deployment would implement. Prints detections as they are recognised.
+(* Online operation: a long-lived [Runtime.Service] session instead of a
+   one-shot batch run. Batches of AIS messages "arrive" every half hour,
+   the service ticks the sliding-window query grid forward, and
+   detections print as they are recognised — per-vessel state (carried
+   fluents, compiled rules) persists across windows inside the service.
+
+   One batch is deliberately delayed in transit: because it arrives
+   within the service's revision horizon, the affected vessels are
+   rolled back and their overlapping windows replayed, so the final
+   result still matches the in-order batch run bit for bit — checked at
+   the end.
 
    Run with: dune exec examples/online_monitoring.exe *)
 
@@ -19,43 +26,92 @@ let () =
   Format.printf "stream: %d events in [%d, %d]; window %ds, step %ds@.@."
     (Rtec.Stream.size dataset.stream) lo hi window step;
 
-  (* State carried between queries: the FVPs holding at the next window
-     start, derived from the previous result. *)
-  let carry = ref [] in
+  (* A session that outlives any single window: late events up to one
+     window old are repaired by rollback-and-replay, older ones would be
+     counted and dropped. *)
+  let svc =
+    Runtime.Service.create
+      ~config:(Runtime.Service.config ~window ~step ~horizon:window ())
+      ~event_description:ed ~knowledge:dataset.knowledge ()
+  in
+
+  (* Input fluents (proximity spans etc.) are timeless context for this
+     dataset: hand them over up front. *)
+  Runtime.Service.ingest svc
+    (List.map
+       (fun (fv, spans) -> Rtec.Stream.Fluent (fv, spans))
+       (Rtec.Stream.input_fluents dataset.stream));
+
+  (* Chop the event stream into half-hour arrival batches. *)
+  let slots = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Rtec.Stream.event) ->
+      let s = e.time / step in
+      Hashtbl.replace slots s (e :: (try Hashtbl.find slots s with Not_found -> [])))
+    (Rtec.Stream.events dataset.stream);
+  let slot_ids = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) slots []) in
+  let held = List.nth slot_ids (List.length slot_ids / 2) in
+  let batch s = List.rev (Hashtbl.find slots s) in
+  let deliver s =
+    Runtime.Service.ingest svc (List.map (fun e -> Rtec.Stream.Event e) (batch s))
+  in
+
   let seen = Hashtbl.create 64 in
   let watched = [ ("trawling", 1); ("pilotBoarding", 2); ("anchoredOrMoored", 1);
                   ("illegalFishing", 1); ("highSpeedNearCoast", 1) ] in
-  let q = ref (lo + window - 1) in
-  while !q <= hi do
-    let from = max lo (!q - window + 1) in
-    (match
-       Rtec.Engine.run ~carry:!carry ~event_description:ed ~knowledge:dataset.knowledge
-         ~stream:dataset.stream ~from ~until:!q ()
-     with
-    | Error e ->
-      Format.printf "[%s] engine error: %s@." (hms !q) e;
-      carry := []
-    | Ok result ->
-      (* Report newly recognised activity instances. *)
-      List.iter
-        (fun indicator ->
-          List.iter
-            (fun ((fluent, _), _) ->
-              let key = Rtec.Term.to_string fluent in
-              if not (Hashtbl.mem seen key) then begin
-                Hashtbl.add seen key ();
-                Format.printf "[query %s] recognised %s@." (hms !q) key
-              end)
-            (Rtec.Engine.find_fluent result indicator))
-        watched;
-      (* FVPs still holding at the next window's start persist by
-         inertia. *)
-      let next_from = max lo (!q + step - window + 1) in
-      carry :=
-        List.filter_map
-          (fun (fv, spans) -> if Rtec.Interval.mem next_from spans then Some fv else None)
-          result);
-    q := !q + step
-  done;
-  Format.printf "@.%d distinct activity instances recognised online.@."
-    (Hashtbl.length seen)
+  let report now (r : Runtime.Service.result) =
+    List.iter
+      (fun indicator ->
+        List.iter
+          (fun ((fluent, _), _) ->
+            let key = Rtec.Term.to_string fluent in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              Format.printf "[tick %s] recognised %s@." (hms now) key
+            end)
+          (Rtec.Engine.find_fluent r.intervals indicator))
+      watched
+  in
+
+  List.iter
+    (fun s ->
+      if s = held then
+        Format.printf "[%s] batch of %d events delayed in transit...@."
+          (hms ((s + 1) * step))
+          (List.length (batch s))
+      else begin
+        deliver s;
+        if s = held + 1 then begin
+          Format.printf "[%s] ...late batch arrives: revising the affected vessels@."
+            (hms ((s + 1) * step));
+          deliver held
+        end
+      end;
+      (* The wall clock advances whether or not the data kept up. *)
+      match Runtime.Service.tick svc ~now:((s + 1) * step) with
+      | Ok r -> report ((s + 1) * step) r
+      | Error e -> Format.printf "[%s] service error: %s@." (hms ((s + 1) * step)) e)
+    slot_ids;
+
+  match Runtime.Service.drain svc with
+  | Error e -> prerr_endline ("drain failed: " ^ e)
+  | Ok (r : Runtime.Service.result) ->
+    let s = r.stats in
+    Format.printf "@.%d distinct activity instances recognised online.@."
+      (Hashtbl.length seen);
+    Format.printf
+      "service: %d queries over %d entity shards; %d late events, %d dropped, %d \
+       revisions@."
+      s.queries s.buckets s.late_events s.dropped_late s.revisions;
+    (* The punchline: out-of-order arrival within the horizon does not
+       change the answer. *)
+    let batch_result =
+      match
+        Runtime.run
+          ~config:(Runtime.config ~window ~step ())
+          ~event_description:ed ~knowledge:dataset.knowledge ~stream:dataset.stream ()
+      with
+      | Ok (result, _) -> result
+      | Error e -> failwith e
+    in
+    Format.printf "identical to the in-order batch run: %b@." (r.intervals = batch_result)

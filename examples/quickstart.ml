@@ -38,12 +38,13 @@ let () =
          ])
   in
 
-  (* 4. Recognise: compute the maximal intervals of every fluent-value pair. *)
-  match
-    Rtec.Engine.run ~event_description ~knowledge ~stream ~from:0 ~until:100 ()
-  with
+  (* 4. Recognise: compute the maximal intervals of every fluent-value
+     pair. [Runtime.run] is the application entry point (windowing,
+     entity sharding and the streaming service all live behind it); the
+     low-level [Rtec.Engine.run] remains for single fixed-range queries. *)
+  match Runtime.run ~config:Runtime.default ~event_description ~knowledge ~stream () with
   | Error e -> prerr_endline ("recognition failed: " ^ e)
-  | Ok result ->
+  | Ok (result, _) ->
     List.iter
       (fun ((fluent, value), intervals) ->
         Format.printf "%a = %a holds for %a@." Rtec.Term.pp fluent Rtec.Term.pp value

@@ -51,6 +51,24 @@ let stream_of_string source =
     (Parser.parse_clauses source);
   Stream.make ~input_fluents:(List.rev !fluents) (List.rev !events)
 
+(* The serve line protocol is the stream file format read incrementally:
+   each parsed fact becomes one ingestion item, input order preserved. *)
+let items_of_string source =
+  List.map
+    (fun (r : Ast.rule) ->
+      if r.body <> [] then invalid_arg "Io.items_of_string: expected facts";
+      match r.head with
+      | Term.Compound ("happensAt", [ term; Term.Int time ]) ->
+        Stream.Event { Stream.time; term }
+      | Term.Compound ("holdsFor", [ fv; spans ]) -> (
+        match Term.as_fvp fv with
+        | Some (f, v) -> Stream.Fluent ((f, v), spans_of_term spans)
+        | None -> invalid_arg "Io.items_of_string: holdsFor expects a fluent-value pair")
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Io.items_of_string: unexpected fact %s" (Term.to_string other)))
+    (Parser.parse_clauses source)
+
 let knowledge_to_string kb =
   String.concat ""
     (List.map (fun fact -> Term.to_string fact ^ ".\n") (Knowledge.facts kb))

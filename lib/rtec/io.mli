@@ -10,6 +10,11 @@ val stream_of_string : string -> Stream.t
 (** Raises {!Parser.Error} on malformed input and [Invalid_argument] on
     lines that are neither [happensAt] nor [holdsFor] facts. *)
 
+val items_of_string : string -> Stream.item list
+(** Parses a chunk of the stream format into ingestion items, input
+    order preserved — the [serve] line protocol ([Runtime.Service]
+    consumes the items). Raises like {!stream_of_string}. *)
+
 val knowledge_to_string : Knowledge.t -> string
 val knowledge_of_string : string -> Knowledge.t
 

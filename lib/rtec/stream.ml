@@ -1,5 +1,9 @@
 type event = { time : int; term : Term.t }
 
+type item =
+  | Event of event
+  | Fluent of (Term.t * Term.t) * Interval.t
+
 module M = Map.Make (struct
   type t = string * int
 
@@ -72,6 +76,21 @@ let make ?(input_fluents = []) events =
         invalid_arg "Stream.make: input fluent is not ground")
     input_fluents;
   of_sorted ~input_fluents (List.stable_sort (fun a b -> Int.compare a.time b.time) events)
+
+let of_items items =
+  let events, fluents =
+    List.fold_left
+      (fun (es, fs) -> function
+        | Event e -> (e :: es, fs)
+        | Fluent (fv, spans) -> (es, (fv, spans) :: fs))
+      ([], []) items
+  in
+  make ~input_fluents:(List.rev fluents) (List.rev events)
+
+let item_time = function
+  | Event e -> e.time
+  | Fluent (_, spans) -> (
+    match Interval.to_list spans with [] -> max_int | (s, _) :: _ -> s)
 
 let events s = s.all
 let size s = s.size
@@ -282,3 +301,30 @@ let append a b =
 let of_batches = function
   | [] -> make []
   | first :: rest -> List.fold_left append first rest
+
+(* History trimming for the streaming service: events strictly older
+   than [t] can no longer fall inside any future (or revisable) window,
+   so drop them. Input fluents stay — there are few of them, the engine
+   clamps them per window, and trimming their spans would complicate the
+   revision replay for no working-set gain. *)
+let drop_before s t =
+  let keep = lower_bound_time s.times t in
+  if keep = 0 then s
+  else
+    of_sorted ~input_fluents:s.input_fluents
+      (List.filteri (fun i _ -> i >= keep) s.all)
+
+let first_input_time s =
+  let event_lo = if s.size = 0 then None else Some (fst s.extent) in
+  let fluent_lo =
+    List.fold_left
+      (fun acc (_, spans) ->
+        match Interval.to_list spans with
+        | [] -> acc
+        | (start, _) :: _ -> (
+          match acc with None -> Some start | Some a -> Some (min a start)))
+      None s.input_fluents
+  in
+  match (event_lo, fluent_lo) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)

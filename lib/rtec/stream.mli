@@ -9,6 +9,14 @@
 
 type event = { time : int; term : Term.t }
 
+type item =
+  | Event of event
+  | Fluent of (Term.t * Term.t) * Interval.t
+      (** an input statically determined fluent batch: a ground
+          [(fluent, value)] pair with (part of) its maximal intervals *)
+(** One unit of streaming ingestion — the line-protocol payload the
+    runtime service consumes ([Runtime.Service.ingest]). *)
+
 type t
 
 val make : ?input_fluents:((Term.t * Term.t) * Interval.t) list -> event list -> t
@@ -16,6 +24,15 @@ val make : ?input_fluents:((Term.t * Term.t) * Interval.t) list -> event list ->
     on non-ground events. Each input fluent is a ground [(fluent, value)]
     pair with its maximal intervals; duplicate [(fluent, value)] keys are
     merged by unioning their interval lists. *)
+
+val of_items : item list -> t
+(** Builds a stream from a batch of ingestion items (events need not be
+    sorted); same validation and dedup rules as {!make}. *)
+
+val item_time : item -> int
+(** The time an item enters the timeline: the event's time-point, or the
+    earliest span start of a fluent batch ([max_int] for an empty
+    interval list) — what watermark and lateness bookkeeping key on. *)
 
 val events : t -> event list
 (** All events in time order. *)
@@ -54,6 +71,18 @@ val of_batches : t list -> t
 (** Folds a list of event batches into one stream with {!append}; the
     empty list yields the empty stream. Chunked/streaming ingestion
     front-ends build their working stream through this entry. *)
+
+val drop_before : t -> int -> t
+(** [drop_before s t] is [s] without the events older than time-point
+    [t]; input fluents are kept untouched (they are few, and the engine
+    clamps them to each window anyway). Returns [s] itself when nothing
+    is dropped. The streaming service trims finalised history with this
+    to keep its working set bounded. *)
+
+val first_input_time : t -> int option
+(** The earliest time-point at which the stream carries any information:
+    the first event time or the earliest input-fluent span start,
+    whichever is smaller. [None] for a stream with neither. *)
 
 (** {1 Entity sharding}
 

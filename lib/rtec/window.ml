@@ -27,91 +27,203 @@ let query_times ~lo ~hi ~window ~step =
   in
   dedupe (gen first [])
 
+(* The per-query evaluation state, extracted so that the one-shot [run]
+   below and the long-lived [Runtime.Service] drive the exact same code:
+   whatever path schedules the queries, each query is evaluated by
+   [Session.process], so differential guarantees between the batch and
+   streaming entry points hold by construction. *)
+module Session = struct
+  type t = {
+    event_description : Ast.t;
+    knowledge : Knowledge.t;
+    window : int;
+    step : int;
+    compile : bool;
+    delta_ok : bool;
+    mutable stream : Stream.t;
+    (* The compiled program bakes candidate tables from one fixed stream;
+       it stays valid exactly as long as the session evaluates that same
+       stream value (physical identity — streams are immutable). *)
+    mutable compiled : (Stream.t * Compiled.program) option;
+    mutable accumulated : Interval.t FvpMap.t;
+    mutable prev_q : int option;
+    mutable queries : int;
+    mutable events_processed : int;
+  }
+
+  type checkpoint = {
+    cp_accumulated : Interval.t FvpMap.t;
+    cp_prev_q : int option;
+    cp_queries : int;
+    cp_events_processed : int;
+  }
+
+  let create ?(compile = true) ~window ~step ~event_description ~knowledge ~stream () =
+    if window <= 0 || step <= 0 then Result.Error "window and step must be positive"
+    else
+      (* When consecutive windows overlap and every construct in the event
+         description is pointwise, the overlap region would be re-derived
+         identically: evaluate only the step delta, carrying the previous
+         query's fluents forward. Duration-sensitive constructs force a full
+         re-evaluation of each window. *)
+      Ok
+        {
+          event_description;
+          knowledge;
+          window;
+          step;
+          compile;
+          delta_ok = step <= window && Dependency.window_insensitive event_description;
+          stream;
+          compiled = None;
+          accumulated = FvpMap.empty;
+          prev_q = None;
+          queries = 0;
+          events_processed = 0;
+        }
+
+  let stream t = t.stream
+  let set_stream t stream = t.stream <- stream
+  let prev_q t = t.prev_q
+  let delta_ok t = t.delta_ok
+
+  let program t =
+    if not t.compile then None
+    else
+      match t.compiled with
+      | Some (s, p) when s == t.stream -> Some p
+      | _ ->
+        let p =
+          Compiled.compile ~event_description:t.event_description ~knowledge:t.knowledge
+            ~stream:t.stream ()
+        in
+        t.compiled <- Some (t.stream, p);
+        Some p
+
+  let record t (fv, spans) =
+    if not (Interval.is_empty spans) then
+      t.accumulated <-
+        FvpMap.update fv
+          (fun o -> Some (Interval.union spans (Option.value ~default:Interval.empty o)))
+          t.accumulated
+
+  let process t ~lo q =
+    let compiled = program t in
+    let window_start = max lo (q - t.window + 1) in
+    let eval_from =
+      match t.prev_q with
+      | Some pq when t.delta_ok && pq + 1 >= window_start -> pq + 1
+      | _ -> window_start
+    in
+    let delta_run = eval_from > window_start in
+    let window_events = Stream.count_in t.stream ~from:eval_from ~until:q in
+    (* FVPs holding at the evaluation start according to what has been
+       recognised so far are carried over by inertia; every FVP ever
+       recognised remains a grounding candidate for holdsFor schemas. *)
+    let carry, universe =
+      FvpMap.fold
+        (fun fv spans (carry, universe) ->
+          ((if Interval.mem eval_from spans then fv :: carry else carry), fv :: universe))
+        t.accumulated ([], [])
+    in
+    Telemetry.Metrics.incr m_queries;
+    Telemetry.Metrics.incr (if delta_run then m_delta_runs else m_full_runs);
+    Derivation.record_query ~q ~eval_from ~window_start;
+    Telemetry.Metrics.observe h_events (float_of_int window_events);
+    Telemetry.Metrics.observe h_carry (float_of_int (List.length carry));
+    let sp = Telemetry.Trace.start "window.query" in
+    let outcome =
+      Engine.run ~carry ~universe ~input_from:window_start ?compiled
+        ~event_description:t.event_description ~knowledge:t.knowledge ~stream:t.stream
+        ~from:eval_from ~until:q ()
+    in
+    Telemetry.Trace.finish sp
+      ~args:
+        [
+          ("q", Telemetry.Trace.Int q);
+          ("delta", Telemetry.Trace.Bool delta_run);
+          ("events", Telemetry.Trace.Int window_events);
+          ("carry", Telemetry.Trace.Int (List.length carry));
+        ];
+    match outcome with
+    | Result.Error e -> Result.Error e
+    | Ok result ->
+      (* Truncate open intervals just past the query horizon so that the
+         next (overlapping) window extends them seamlessly. *)
+      let horizon = q + 2 in
+      List.iter (fun (fv, spans) -> record t (fv, Interval.clamp eval_from horizon spans)) result;
+      t.queries <- t.queries + 1;
+      t.events_processed <- t.events_processed + window_events;
+      t.prev_q <- Some q;
+      Ok ()
+
+  let save t =
+    {
+      cp_accumulated = t.accumulated;
+      cp_prev_q = t.prev_q;
+      cp_queries = t.queries;
+      cp_events_processed = t.events_processed;
+    }
+
+  let restore t cp =
+    t.accumulated <- cp.cp_accumulated;
+    t.prev_q <- cp.cp_prev_q;
+    t.queries <- cp.cp_queries;
+    t.events_processed <- cp.cp_events_processed
+
+  (* Union of two evaluation states over disjoint entity components: the
+     streaming service calls this when a cross-entity item joins two
+     previously independent buckets. Both sides must have processed the
+     same query grid (the service guarantees it), so the merged state is
+     exactly what one session over the union stream would hold. *)
+  let absorb t other =
+    t.accumulated <-
+      FvpMap.union
+        (fun _ a b -> Some (Interval.union a b))
+        t.accumulated other.accumulated;
+    t.prev_q <-
+      (match (t.prev_q, other.prev_q) with
+      | None, x | x, None -> x
+      | Some a, Some b -> Some (max a b));
+    t.queries <- t.queries + other.queries;
+    t.events_processed <- t.events_processed + other.events_processed
+
+  let merge_checkpoint a b =
+    {
+      cp_accumulated =
+        FvpMap.union
+          (fun _ x y -> Some (Interval.union x y))
+          a.cp_accumulated b.cp_accumulated;
+      cp_prev_q =
+        (match (a.cp_prev_q, b.cp_prev_q) with
+        | None, x | x, None -> x
+        | Some x, Some y -> Some (max x y));
+      cp_queries = a.cp_queries + b.cp_queries;
+      cp_events_processed = a.cp_events_processed + b.cp_events_processed;
+    }
+
+  let result t = FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) t.accumulated []
+  let stats t = { queries = t.queries; events_processed = t.events_processed }
+end
+
 let run ?window ?step ?extent ?(compile = true) ~event_description ~knowledge ~stream () =
   (* [extent] overrides the query-time grid: a shard of a partitioned
      stream must evaluate the same query times as every other shard (and
      as the unsharded run), so the sharding runtime passes the full
      stream's extent here. *)
   let lo, hi = Option.value ~default:(Stream.extent stream) extent in
-  (* Compile the event description once per run; every window reuses the
-     program (the intern ids baked into its closures never go stale). *)
-  let compiled =
-    if compile then Some (Compiled.compile ~event_description ~knowledge ~stream ())
-    else None
-  in
   (* Without an explicit window, a single query covers the whole extent. *)
   let window = Option.value ~default:(hi - lo + 1) window in
   let step = Option.value ~default:window step in
-  if window <= 0 || step <= 0 then Result.Error "window and step must be positive"
-  else begin
-    (* When consecutive windows overlap and every construct in the event
-       description is pointwise, the overlap region would be re-derived
-       identically: evaluate only the step delta, carrying the previous
-       query's fluents forward. Duration-sensitive constructs force a full
-       re-evaluation of each window. *)
-    let delta_ok = step <= window && Dependency.window_insensitive event_description in
-    let accumulated = ref FvpMap.empty in
-    let queries = ref 0 and events_processed = ref 0 in
-    let prev_q = ref None in
-    let record (fv, spans) =
-      if not (Interval.is_empty spans) then
-        accumulated :=
-          FvpMap.update fv
-            (fun o -> Some (Interval.union spans (Option.value ~default:Interval.empty o)))
-            !accumulated
-    in
-    let process q =
-      let window_start = max lo (q - window + 1) in
-      let eval_from =
-        match !prev_q with
-        | Some pq when delta_ok && pq + 1 >= window_start -> pq + 1
-        | _ -> window_start
-      in
-      let delta_run = eval_from > window_start in
-      let window_events = Stream.count_in stream ~from:eval_from ~until:q in
-      (* FVPs holding at the evaluation start according to what has been
-         recognised so far are carried over by inertia; every FVP ever
-         recognised remains a grounding candidate for holdsFor schemas. *)
-      let carry, universe =
-        FvpMap.fold
-          (fun fv spans (carry, universe) ->
-            ((if Interval.mem eval_from spans then fv :: carry else carry), fv :: universe))
-          !accumulated ([], [])
-      in
-      Telemetry.Metrics.incr m_queries;
-      Telemetry.Metrics.incr (if delta_run then m_delta_runs else m_full_runs);
-      Derivation.record_query ~q ~eval_from ~window_start;
-      Telemetry.Metrics.observe h_events (float_of_int window_events);
-      Telemetry.Metrics.observe h_carry (float_of_int (List.length carry));
-      let sp = Telemetry.Trace.start "window.query" in
-      let outcome =
-        Engine.run ~carry ~universe ~input_from:window_start ?compiled ~event_description
-          ~knowledge ~stream ~from:eval_from ~until:q ()
-      in
-      Telemetry.Trace.finish sp
-        ~args:
-          [
-            ("q", Telemetry.Trace.Int q);
-            ("delta", Telemetry.Trace.Bool delta_run);
-            ("events", Telemetry.Trace.Int window_events);
-            ("carry", Telemetry.Trace.Int (List.length carry));
-          ];
-      match outcome with
-      | Result.Error e -> Some e
-      | Ok result ->
-        (* Truncate open intervals just past the query horizon so that the
-           next (overlapping) window extends them seamlessly. *)
-        let horizon = q + 2 in
-        List.iter (fun (fv, spans) -> record (fv, Interval.clamp eval_from horizon spans)) result;
-        incr queries;
-        events_processed := !events_processed + window_events;
-        prev_q := Some q;
-        None
-    in
+  match Session.create ~compile ~window ~step ~event_description ~knowledge ~stream () with
+  | Result.Error e -> Result.Error e
+  | Ok session -> (
     let rec loop = function
       | [] -> None
-      | q :: rest -> ( match process q with Some e -> Some e | None -> loop rest)
+      | q :: rest -> (
+        match Session.process session ~lo q with Error e -> Some e | Ok () -> loop rest)
     in
+    let delta_ok = Session.delta_ok session in
     match
       Telemetry.Trace.with_span "window.run"
         ~args:
@@ -123,7 +235,4 @@ let run ?window ?step ?extent ?(compile = true) ~event_description ~knowledge ~s
         (fun () -> loop (query_times ~lo ~hi ~window ~step))
     with
     | Some e -> Result.Error e
-    | None ->
-      let result = FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) !accumulated [] in
-      Ok (result, { queries = !queries; events_processed = !events_processed })
-  end
+    | None -> Ok (Session.result session, Session.stats session))

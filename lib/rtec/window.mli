@@ -21,6 +21,75 @@ val query_times : lo:int -> hi:int -> window:int -> step:int -> int list
     window), then every [step], with a final query exactly at [hi] and no
     duplicates. *)
 
+(** The per-query evaluation state behind both the one-shot {!run} and
+    the long-lived [Runtime.Service]: a session owns the accumulated
+    interval map, the previous query time (delta evaluation) and the
+    compiled-program cache, and {!Session.process} evaluates exactly one
+    query time against the session's current stream. Because every
+    scheduling policy — batch sweep, live ticks, out-of-order revision
+    replay — funnels through the same [process], batch/streaming
+    differential guarantees hold by construction. *)
+module Session : sig
+  type t
+
+  type checkpoint
+  (** An immutable snapshot of the evaluation state (O(1) to take: the
+      accumulated map is persistent). The streaming service checkpoints
+      after each query so a late event can roll the session back and
+      replay the overlapping windows. *)
+
+  val create :
+    ?compile:bool ->
+    window:int ->
+    step:int ->
+    event_description:Ast.t ->
+    knowledge:Knowledge.t ->
+    stream:Stream.t ->
+    unit ->
+    (t, string) Result.t
+  (** Fails like {!run} on non-positive [window]/[step]. The compiled
+      program (when [compile], the default) is built lazily at the first
+      {!process} and rebuilt whenever the session's stream value changes. *)
+
+  val set_stream : t -> Stream.t -> unit
+  (** Replace the stream the next queries evaluate against (ingestion
+      appends, history trimming). Streams are immutable values; the
+      compiled-program cache is keyed on physical identity. *)
+
+  val stream : t -> Stream.t
+  val prev_q : t -> int option
+  val delta_ok : t -> bool
+  (** Whether overlapping windows may be evaluated as step deltas
+      ([step <= window] and a window-insensitive event description). *)
+
+  val process : t -> lo:int -> int -> (unit, string) Result.t
+  (** [process t ~lo q] evaluates query time [q] over the window
+      [(max lo (q - window + 1)) .. q] — as a step delta when possible —
+      and folds the result into the accumulated state. Query times must
+      be presented in increasing order (the grid both {!run} and the
+      service generate). [lo] is the grid origin: the full stream's
+      extent start, identical across entity shards. *)
+
+  val save : t -> checkpoint
+  val restore : t -> checkpoint -> unit
+
+  val absorb : t -> t -> unit
+  (** [absorb t other] unions [other]'s evaluation state into [t]: the
+      state merge behind bucket coalescing when a cross-entity item joins
+      two previously independent entity shards. Both sessions must have
+      processed the same query grid over disjoint entity components. *)
+
+  val merge_checkpoint : checkpoint -> checkpoint -> checkpoint
+  (** Pointwise union of two checkpoints taken at the same query time
+      over disjoint entity components. *)
+
+  val result : t -> Engine.result
+  (** The accumulated intervals, in the canonical fluent-value order —
+      the same list {!run} returns. *)
+
+  val stats : t -> stats
+end
+
 val run :
   ?window:int ->
   ?step:int ->

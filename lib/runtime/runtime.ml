@@ -1,4 +1,5 @@
 module Pool = Pool
+module Service = Service
 
 (* Domain fan-out with the telemetry bracketing every parallel section
    of this repo uses: worker metrics accumulate locally and merge into
@@ -28,66 +29,19 @@ let config ?window ?step ?(jobs = 1) ?shards ?(compile = true) () =
 
 type stats = { queries : int; events_processed : int; shards : int; jobs : int }
 
-module FvpMap = Map.Make (struct
-  type t = Rtec.Engine.fvp
-
-  let compare = Rtec.Engine.compare_fvp
-end)
-
 let m_runs = Telemetry.Metrics.counter "runtime.runs"
 let m_sharded_runs = Telemetry.Metrics.counter "runtime.sharded_runs"
 let h_shards = Telemetry.Metrics.histogram "runtime.shards"
 let h_shard_events = Telemetry.Metrics.histogram "runtime.shard_events"
 let g_jobs = Telemetry.Metrics.gauge "runtime.jobs"
 
-(* Ground [initially(F=V)] facts seed every window that reaches the
-   stream start, but they belong to no entity component: each shard
-   would re-derive them against a different event subset. Such event
-   descriptions are evaluated unsharded. *)
-let has_ground_initially event_description =
-  List.exists
-    (fun (r : Rtec.Ast.rule) ->
-      r.body = []
-      &&
-      match r.head with
-      | Rtec.Term.Compound ("initially", [ fv ]) -> Rtec.Term.is_ground fv
-      | _ -> false)
-    (Rtec.Ast.all_rules event_description)
-
-let sequential ~config:(config : config) ~event_description ~knowledge ~stream () =
-  Result.map
-    (fun (result, (s : Rtec.Window.stats)) ->
-      ( result,
-        {
-          queries = s.queries;
-          events_processed = s.events_processed;
-          shards = 1;
-          jobs = 1;
-        } ))
-    (Rtec.Window.run ?window:config.window ?step:config.step ~compile:config.compile
-       ~event_description ~knowledge ~stream ())
-
-(* Deterministic merge: the per-shard accumulators carry disjoint
-   fluent-value pairs (an FVP's entities all live in one shard), and
-   folding the union map mirrors [Window.run]'s own result order, so the
-   merged list is bit-identical to a sequential run's. Duplicate keys
-   (possible only for entity-less derived FVPs) are interval-unioned. *)
-let merge_results per_shard =
-  let merged =
-    Array.fold_left
-      (fun acc (result, _) ->
-        List.fold_left
-          (fun acc (fv, spans) ->
-            FvpMap.update fv
-              (function
-                | None -> Some spans
-                | Some prev -> Some (Rtec.Interval.union prev spans))
-              acc)
-          acc result)
-      FvpMap.empty per_shard
-  in
-  FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) merged []
-
+(* The one-shot run is a thin wrapper over {!Service}: seed one bucket
+   per shard, drain the whole query grid in one pass. The service
+   evaluates each bucket with the same [Window.Session] code a direct
+   [Window.run] uses and merges the per-bucket interval maps in the
+   canonical fluent-value order, so the batch differential guarantees
+   (sharded == sequential, exact telemetry/provenance merge at join)
+   carry over by construction. *)
 let run ~config:(config : config) ~event_description ~knowledge ~stream () =
   if config.jobs < 1 then Result.Error "jobs must be positive"
   else begin
@@ -97,6 +51,27 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
          once per run; a no-op unless both recorder and metrics are on. *)
       if Rtec.Derivation.is_enabled () then Rtec.Derivation.publish_metrics ();
       outcome
+    in
+    let run_service ~pool_always ~jobs ~shards shard_streams =
+      let svc =
+        Service.create ~pool_always
+          ~config:
+            (Service.config ?window:config.window ?step:config.step ~jobs
+               ~compile:config.compile ~horizon:0 ())
+          ~event_description ~knowledge ()
+      in
+      Service.seed svc shard_streams;
+      match Service.drain svc with
+      | Result.Error e -> Result.Error e
+      | Ok (r : Service.result) ->
+        Ok
+          ( r.intervals,
+            {
+              queries = r.stats.queries;
+              events_processed = r.stats.events_processed;
+              shards;
+              jobs;
+            } )
     in
     finish
     @@
@@ -109,26 +84,22 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
        partition/merge machinery stays exercised on any host. *)
     let effective_jobs = min config.jobs (Domain.recommended_domain_count ()) in
     let sharding_wanted = effective_jobs > 1 || Option.is_some config.shards in
-    if (not sharding_wanted) || has_ground_initially event_description then
-      sequential ~config ~event_description ~knowledge ~stream ()
+    if (not sharding_wanted) || Service.has_ground_initially event_description then
+      run_service ~pool_always:false ~jobs:1 ~shards:1 [ stream ]
     else begin
       let shard_target = Option.value ~default:effective_jobs config.shards in
-      let shard_streams = Array.of_list (Rtec.Stream.partition ~shards:shard_target stream) in
-      let n_shards = Array.length shard_streams in
-      if n_shards <= 1 then sequential ~config ~event_description ~knowledge ~stream ()
+      let shard_streams = Rtec.Stream.partition ~shards:shard_target stream in
+      let n_shards = List.length shard_streams in
+      if n_shards <= 1 then run_service ~pool_always:false ~jobs:1 ~shards:1 [ stream ]
       else begin
         let jobs = min effective_jobs n_shards in
         Telemetry.Metrics.incr m_sharded_runs;
         Telemetry.Metrics.observe h_shards (float_of_int n_shards);
         Telemetry.Metrics.set g_jobs (float_of_int jobs);
-        Array.iter
+        List.iter
           (fun shard ->
             Telemetry.Metrics.observe h_shard_events (float_of_int (Rtec.Stream.size shard)))
           shard_streams;
-        (* Every shard evaluates the same query grid as the unsharded
-           stream would, so carried intervals truncate at identical
-           horizons in every shard. *)
-        let extent = Rtec.Stream.extent stream in
         let sp =
           Telemetry.Trace.start "runtime.run"
             ~args:
@@ -138,55 +109,9 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
                 ("events", Telemetry.Trace.Int (Rtec.Stream.size stream));
               ]
         in
-        let outcomes =
-          Pool.map ~jobs
-            ~around:(fun ~worker thunk ->
-              (* Per-domain telemetry and provenance: metrics and
-                 derivation records accumulate locally and merge into the
-                 process-global buffers at join; spans land on the
-                 worker's own track. The calling domain participates as
-                 worker 0 and gets the same treatment — its direct
-                 registry writes would race with the other workers'
-                 merges. *)
-              Telemetry.Metrics.with_local (fun () ->
-                  Telemetry.Trace.with_local ~tid:worker (fun () ->
-                      Rtec.Derivation.with_local thunk)))
-            (fun ~worker:_ i shard ->
-              Telemetry.Trace.with_span "runtime.shard"
-                ~args:
-                  [
-                    ("shard", Telemetry.Trace.Int i);
-                    ("events", Telemetry.Trace.Int (Rtec.Stream.size shard));
-                  ]
-                (fun () ->
-                  Rtec.Window.run ?window:config.window ?step:config.step ~extent
-                    ~compile:config.compile ~event_description ~knowledge ~stream:shard ()))
-            shard_streams
-        in
+        let outcome = run_service ~pool_always:true ~jobs ~shards:n_shards shard_streams in
         Telemetry.Trace.finish sp;
-        (* The lowest-numbered shard's error wins, deterministically. *)
-        let rec first_error i =
-          if i >= Array.length outcomes then None
-          else match outcomes.(i) with Result.Error e -> Some e | Ok _ -> first_error (i + 1)
-        in
-        match first_error 0 with
-        | Some e -> Result.Error e
-        | None ->
-          let per_shard =
-            Array.map (function Result.Ok r -> r | Error _ -> assert false) outcomes
-          in
-          let stats =
-            Array.fold_left
-              (fun acc (_, (s : Rtec.Window.stats)) ->
-                {
-                  acc with
-                  queries = acc.queries + s.queries;
-                  events_processed = acc.events_processed + s.events_processed;
-                })
-              { queries = 0; events_processed = 0; shards = n_shards; jobs }
-              per_shard
-          in
-          Ok (merge_results per_shard, stats)
+        outcome
       end
     end
   end

@@ -15,6 +15,13 @@
     metrics are merged exactly into the process registry when each worker
     joins, and spans are tagged with the worker id as their track. *)
 
+module Service = Service
+(** Long-lived streaming recognition sessions: [Service.create ~config],
+    [ingest] line-protocol items as they arrive, [tick ~now] to advance
+    the window grid, with per-entity state across windows, bounded
+    out-of-order revision and idle-entity eviction. {!run} below is a
+    thin wrapper over a seeded, drained service. *)
+
 module Pool : sig
   val map :
     jobs:int ->

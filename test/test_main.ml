@@ -14,6 +14,7 @@ let () =
       ("differential", Test_differential.suite);
       ("compiled", Test_compiled.suite);
       ("runtime", Test_runtime.suite);
+      ("service", Test_service.suite);
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);
       ("telemetry", Test_telemetry.suite);
