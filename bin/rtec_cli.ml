@@ -3,8 +3,10 @@
    - [recognise] loads an event description, background knowledge and an
      event stream from files and prints the recognised maximal intervals;
    - [serve] runs a long-lived recognition session over a live feed
-     (stdin or one TCP connection), with out-of-order revision and
-     periodic emission;
+     (stdin, or several concurrent TCP connections multiplexed into one
+     evaluator), with out-of-order revision and periodic emission;
+   - [feed] is the matching line-stream TCP client (send a file,
+     half-close, print the server's emissions);
    - [check] parses an event description and reports diagnostics;
    - [dataset] writes the synthetic maritime dataset to files usable by
      [recognise].
@@ -289,6 +291,126 @@ let recognise_cmd =
 
 (* --- serve --- *)
 
+(* Backpressure instrumentation for the multi-client ingest queue: depth
+   is sampled at every push/pop (under the ring lock), blocked counts
+   pushes that found the ring full and had to wait for the evaluator,
+   dropped counts clients detached after a failed write or a mid-read
+   connection error. *)
+let m_ingest_blocked = Telemetry.Metrics.counter "service.ingest.blocked"
+let g_queue_depth = Telemetry.Metrics.gauge "service.ingest_queue.depth"
+let m_clients_dropped = Telemetry.Metrics.counter "service.clients.dropped"
+
+(* Bounded multi-producer single-consumer ring: per-connection reader
+   threads push decoded ingestion messages, the evaluator (the main
+   thread) pops. A full ring blocks the producer, so backpressure
+   reaches a fast client through TCP flow control instead of growing the
+   heap without bound. *)
+module Ring = struct
+  type 'a t = {
+    buf : 'a option array;
+    mutable head : int;  (* next slot to pop *)
+    mutable len : int;
+    lock : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+  }
+
+  let create capacity =
+    {
+      buf = Array.make capacity None;
+      head = 0;
+      len = 0;
+      lock = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+    }
+
+  let push t x =
+    Mutex.lock t.lock;
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      Telemetry.Metrics.incr m_ingest_blocked;
+      while t.len = cap do
+        Condition.wait t.not_full t.lock
+      done
+    end;
+    t.buf.((t.head + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1;
+    Telemetry.Metrics.set g_queue_depth (float_of_int t.len);
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock
+
+  let pop t =
+    Mutex.lock t.lock;
+    while t.len = 0 do
+      Condition.wait t.not_empty t.lock
+    done;
+    let x = match t.buf.(t.head) with Some x -> x | None -> assert false in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    Telemetry.Metrics.set g_queue_depth (float_of_int t.len);
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    x
+end
+
+(* One message per protocol line, decoded on the reader thread (each
+   with its own {!Rtec.Io.Codec} so the atom memo persists across the
+   connection) — the evaluator never touches bytes. [Client_eof] carries
+   whether the connection ended cleanly or died mid-read. *)
+type serve_msg =
+  | Ingest of Rtec.Stream.item list
+  | Tick_at of int
+  | Bad_line of string
+  | Client_eof of { slot : int; dropped : bool }
+
+(* An emission target: stdout, or one client connection. A failed write
+   (EPIPE surfacing as [Sys_error] once SIGPIPE is ignored) marks the
+   sink dead and counts it in [service.clients.dropped]; the evaluator
+   carries on for the remaining clients. *)
+type sink = {
+  sink_id : int;
+  sink_oc : out_channel;
+  sink_fmt : Format.formatter;
+  mutable sink_live : bool;
+}
+
+let sink_of_channel sink_id oc =
+  { sink_id; sink_oc = oc; sink_fmt = Format.formatter_of_out_channel oc; sink_live = true }
+
+let ignore_sigpipe () =
+  (* A client that disconnects mid-emission must surface as a write
+     error ([EPIPE]/[Sys_error]) on its channel, not kill the process. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* Decode one trimmed protocol line into a queue message. *)
+let decode_line codec line =
+  match Scanf.sscanf_opt line "tick(%d)." (fun t -> t) with
+  | Some t -> Tick_at t
+  | None -> (
+    match Rtec.Io.Codec.items_of_string codec line with
+    | items -> Ingest items
+    | exception (Invalid_argument msg | Failure msg) -> Bad_line msg
+    | exception Rtec.Parser.Error { line; message } ->
+      Bad_line (Printf.sprintf "line %d: %s" line message)
+    | exception Rtec.Lexer.Error { line; message } ->
+      Bad_line (Printf.sprintf "line %d: %s" line message))
+
+let reader_thread ~slot ~ic ~queue =
+  let codec = Rtec.Io.Codec.create () in
+  let dropped = ref false in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = '%' then ()
+       else Ring.push queue (decode_line codec line)
+     done
+   with
+  | End_of_file -> ()
+  | Sys_error _ | Unix.Unix_error _ -> dropped := true);
+  Ring.push queue (Client_eof { slot; dropped = !dropped })
+
 let serve_cmd =
   let ed_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"EVENT_DESCRIPTION")
@@ -308,8 +430,16 @@ let serve_cmd =
   in
   let listen_arg =
     Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT"
-           ~doc:"Accept one TCP connection on 127.0.0.1:PORT and serve it \
-                 instead of stdin/stdout.")
+           ~doc:"Accept TCP connections on 127.0.0.1:PORT (as many as \
+                 --clients) and serve them instead of stdin/stdout.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N"
+           ~doc:"With --listen: accept this many connections and feed them all \
+                 into the one evaluator — each connection gets a reader thread \
+                 decoding its lines into a bounded ingest queue, and every \
+                 live client receives the emitted intervals. The session ends \
+                 once every client has closed its send side.")
   in
   let tick_every_arg =
     Arg.(value & opt (some int) None & info [ "tick-every" ] ~docv:"SECONDS"
@@ -327,9 +457,13 @@ let serve_cmd =
                 snapshot after every tick, each preceded by a '% tick' comment \
                 line).")
   in
-  let run ed_file (flags : recognition_flags) horizon ttl listen tick_every emit trace
-      metrics metrics_format =
+  let run ed_file (flags : recognition_flags) horizon ttl listen clients tick_every emit
+      trace metrics metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
+    if clients < 1 then begin
+      Printf.eprintf "--clients must be positive\n";
+      exit 2
+    end;
     Option.iter
       (fun spec ->
         Rtec.Derivation.enable ();
@@ -344,107 +478,174 @@ let serve_cmd =
              ~compile:(not flags.interpret) ~horizon ?ttl ())
         ~event_description:ed ~knowledge ()
     in
-    let ic, oc, cleanup =
-      match listen with
-      | None -> (stdin, stdout, fun () -> ())
-      | Some port ->
-        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt sock Unix.SO_REUSEADDR true;
-        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-        Unix.listen sock 1;
-        Printf.eprintf "listening on 127.0.0.1:%d\n%!" port;
-        let conn, _ = Unix.accept sock in
-        ( Unix.in_channel_of_descr conn,
-          Unix.out_channel_of_descr conn,
-          fun () ->
-            (try Unix.close conn with Unix.Unix_error _ -> ());
-            try Unix.close sock with Unix.Unix_error _ -> () )
+    (* Run [f sink_fmt] against every live sink, detaching a sink whose
+       write fails instead of propagating — one gone client must not
+       take down the session for the others. *)
+    let emit_to sinks f =
+      List.iter
+        (fun s ->
+          if s.sink_live then
+            try
+              f s.sink_fmt;
+              Format.pp_print_flush s.sink_fmt ();
+              flush s.sink_oc
+            with Sys_error _ | Unix.Unix_error _ ->
+              s.sink_live <- false;
+              Telemetry.Metrics.incr m_clients_dropped;
+              Printf.eprintf "client %d dropped (write failed)\n%!" s.sink_id)
+        sinks
     in
-    let fmt = Format.formatter_of_out_channel oc in
-    let emit_intervals (r : Runtime.Service.result) =
+    let emit_intervals fmt (r : Runtime.Service.result) =
       List.iter
         (fun ((f, v), spans) ->
           Format.fprintf fmt "holdsFor(%a = %a, %a).@." Rtec.Term.pp f Rtec.Term.pp v
             Rtec.Interval.pp spans)
-        r.intervals;
-      Format.pp_print_flush fmt ();
-      flush oc
+        (Lazy.force r.intervals)
     in
-    let fail e =
-      cleanup ();
-      Printf.eprintf "recognition failed: %s\n" e;
-      exit 1
-    in
-    (* Live telemetry: refresh the --metrics snapshot at every tick, so a
-       scraper sees current counters while the service runs. *)
-    let snapshot_metrics () =
-      Option.iter
-        (match metrics_format with
-        | `Json -> Telemetry.Metrics.write
-        | `Prom -> Telemetry.Metrics.write_prometheus)
-        metrics
-    in
-    let last_tick = ref None in
-    let tick ~now =
-      match Runtime.Service.tick svc ~now with
+    (* Everything mode-independent: tick/auto-tick plumbing around the
+       ingest loop, then the final drain and summary. [loop] is the only
+       part stdin and TCP serving disagree on. *)
+    let session ~sinks ~cleanup ~loop =
+      let fail e =
+        cleanup ();
+        Printf.eprintf "recognition failed: %s\n" e;
+        exit 1
+      in
+      (* Live telemetry: refresh the --metrics snapshot at every tick, so
+         a scraper sees current counters while the service runs. *)
+      let snapshot_metrics () =
+        Option.iter
+          (match metrics_format with
+          | `Json -> Telemetry.Metrics.write
+          | `Prom -> Telemetry.Metrics.write_prometheus)
+          metrics
+      in
+      let last_tick = ref None in
+      let tick ~now =
+        match Runtime.Service.tick svc ~now with
+        | Error e -> fail e
+        | Ok r ->
+          last_tick := Some now;
+          snapshot_metrics ();
+          if emit = `Ticks then
+            emit_to sinks (fun fmt ->
+                Format.fprintf fmt
+                  "%% tick %d: %d queries, %d entity shard(s), watermark %s@." now
+                  r.stats.queries r.stats.buckets
+                  (match r.watermark with None -> "-" | Some w -> string_of_int w);
+                emit_intervals fmt r)
+      in
+      let ingest items =
+        match Runtime.Service.ingest svc items with
+        | () -> (
+          match (tick_every, Runtime.Service.watermark svc) with
+          | Some n, Some wm
+            when (match !last_tick with None -> true | Some t -> wm >= t + n) ->
+            tick ~now:wm
+          | _ -> ())
+        | exception Invalid_argument msg ->
+          Printf.eprintf "ignoring bad input line: %s\n%!" msg
+      in
+      loop ~tick ~ingest;
+      (match Runtime.Service.drain svc with
       | Error e -> fail e
       | Ok r ->
-        last_tick := Some now;
-        snapshot_metrics ();
-        if emit = `Ticks then begin
-          Format.fprintf fmt "%% tick %d: %d queries, %d entity shard(s), watermark %s@."
-            now r.stats.queries r.stats.buckets
-            (match r.watermark with None -> "-" | Some w -> string_of_int w);
-          emit_intervals r
-        end
+        telemetry_write ~trace ~metrics ~metrics_format;
+        let s = r.stats in
+        emit_to sinks (fun fmt ->
+            Format.fprintf fmt
+              "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@." s.queries
+              s.events_processed s.buckets s.jobs;
+            Format.fprintf fmt
+              "%% %d appends, %d late events (%d dropped), %d revisions, %d active / %d \
+               evicted entities@."
+              s.appends s.late_events s.dropped_late s.revisions s.entities_active
+              s.entities_evicted;
+            if Option.is_some flags.provenance then print_provenance_stats fmt;
+            emit_intervals fmt r));
+      cleanup ()
     in
-    let ingest_line line =
-      match Rtec.Io.items_of_string line with
-      | items -> (
-        Runtime.Service.ingest svc items;
-        match (tick_every, Runtime.Service.watermark svc) with
-        | Some n, Some wm
-          when (match !last_tick with None -> true | Some t -> wm >= t + n) ->
-          tick ~now:wm
-        | _ -> ())
-      | exception (Invalid_argument msg | Failure msg) ->
-        Printf.eprintf "ignoring bad input line: %s\n%!" msg
-    in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if line = "" || line.[0] = '%' then ()
-         else
-           match Scanf.sscanf_opt line "tick(%d)." (fun t -> t) with
-           | Some t -> tick ~now:t
-           | None -> ingest_line line
-       done
-     with End_of_file -> ());
-    (match Runtime.Service.drain svc with
-    | Error e -> fail e
-    | Ok r ->
-      telemetry_write ~trace ~metrics ~metrics_format;
-      let s = r.stats in
-      Format.fprintf fmt "%% %d queries, %d window-events, %d shard(s) on %d domain(s)@."
-        s.queries s.events_processed s.buckets s.jobs;
-      Format.fprintf fmt
-        "%% %d appends, %d late events (%d dropped), %d revisions, %d active / %d \
-         evicted entities@."
-        s.appends s.late_events s.dropped_late s.revisions s.entities_active
-        s.entities_evicted;
-      if Option.is_some flags.provenance then print_provenance_stats fmt;
-      emit_intervals r);
-    cleanup ()
+    match listen with
+    | None ->
+      (* Synchronous stdin serving: one long-lived codec, no threads. *)
+      let codec = Rtec.Io.Codec.create () in
+      session
+        ~sinks:[ sink_of_channel 0 stdout ]
+        ~cleanup:(fun () -> ())
+        ~loop:(fun ~tick ~ingest ->
+          try
+            while true do
+              let line = String.trim (input_line stdin) in
+              if line = "" || line.[0] = '%' then ()
+              else
+                match decode_line codec line with
+                | Tick_at t -> tick ~now:t
+                | Ingest items -> ingest items
+                | Bad_line msg -> Printf.eprintf "ignoring bad input line: %s\n%!" msg
+                | Client_eof _ -> assert false
+            done
+          with End_of_file -> ())
+    | Some port ->
+      ignore_sigpipe ();
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock clients;
+      Printf.eprintf "listening on 127.0.0.1:%d for %d client(s)\n%!" port clients;
+      let conns =
+        List.init clients (fun slot ->
+            let conn, _ = Unix.accept sock in
+            (slot, conn))
+      in
+      let sinks =
+        List.map (fun (slot, conn) -> sink_of_channel slot (Unix.out_channel_of_descr conn)) conns
+      in
+      let queue = Ring.create 1024 in
+      let readers =
+        List.map
+          (fun (slot, conn) ->
+            let ic = Unix.in_channel_of_descr conn in
+            Thread.create (fun () -> reader_thread ~slot ~ic ~queue) ())
+          conns
+      in
+      (* No Thread.join in cleanup: on the normal path every reader has
+         already pushed its EOF (its last fd use) before the loop exits,
+         and on the failure path exit must not wait on a reader still
+         blocked in a read. *)
+      ignore readers;
+      session ~sinks
+        ~cleanup:(fun () ->
+          List.iter
+            (fun (_, conn) -> try Unix.close conn with Unix.Unix_error _ -> ())
+            conns;
+          try Unix.close sock with Unix.Unix_error _ -> ())
+        ~loop:(fun ~tick ~ingest ->
+          let open_clients = ref clients in
+          while !open_clients > 0 do
+            match Ring.pop queue with
+            | Ingest items -> ingest items
+            | Tick_at t -> tick ~now:t
+            | Bad_line msg -> Printf.eprintf "ignoring bad input line: %s\n%!" msg
+            | Client_eof { slot; dropped } ->
+              decr open_clients;
+              if dropped then begin
+                Telemetry.Metrics.incr m_clients_dropped;
+                Printf.eprintf "client %d dropped (read failed)\n%!" slot
+              end
+          done)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run a long-lived recognition session over a live feed: stream facts \
-             arrive as happensAt/holdsFor lines on stdin (or one TCP connection \
-             with --listen), the query grid advances on tick(T). control lines, \
+             arrive as happensAt/holdsFor lines on stdin (or TCP connections \
+             with --listen, up to --clients of them multiplexed into the one \
+             evaluator), the query grid advances on tick(T). control lines, \
              --tick-every watermark progress, or end of input, and recognised \
              intervals are emitted incrementally (--emit ticks) or once at the \
-             end. Out-of-order events within --horizon trigger revision of the \
-             affected entity's windows; idle entities are evicted after --ttl."
+             end, to every live client. Out-of-order events within --horizon \
+             trigger revision of the affected entity's windows; idle entities \
+             are evicted after --ttl. A client that disconnects is dropped \
+             without disturbing the rest of the session."
        ~man:
          [
            `S Manpage.s_examples;
@@ -454,7 +655,69 @@ let serve_cmd =
          ])
     Term.(
       const run $ ed_arg $ recognition_flags $ horizon_arg $ ttl_arg $ listen_arg
-      $ tick_every_arg $ emit_arg $ trace_arg $ metrics_arg $ metrics_format_arg)
+      $ clients_arg $ tick_every_arg $ emit_arg $ trace_arg $ metrics_arg
+      $ metrics_format_arg)
+
+(* --- feed --- *)
+
+(* A minimal line-stream TCP client for [serve --listen]: stream a file
+   (or stdin) to the server, half-close the connection, and copy
+   everything the server says to stdout. Exists so CI can drive
+   multi-client serve sessions without relying on netcat. *)
+let feed_cmd =
+  let port_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"PORT")
+  in
+  let file_arg =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"STREAM"
+           ~doc:"Stream file to send (defaults to stdin).")
+  in
+  let run port file =
+    ignore_sigpipe ();
+    let conn = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect conn (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect to 127.0.0.1:%d: %s\n" port (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    (* The server may emit at any tick while we are still sending;
+       draining it concurrently keeps both socket buffers from filling
+       up and deadlocking the pair. *)
+    let pump =
+      Thread.create
+        (fun () ->
+          try
+            while true do
+              print_string (input_line ic);
+              print_newline ()
+            done
+          with End_of_file | Sys_error _ -> ())
+        ()
+    in
+    let src = match file with None -> stdin | Some f -> open_in f in
+    (try
+       (try
+          while true do
+            output_string oc (input_line src);
+            output_char oc '\n'
+          done
+        with End_of_file -> ());
+       flush oc
+     with Sys_error _ -> ());
+    if src != stdin then close_in_noerr src;
+    (* Half-close: the server sees our EOF and can finish the session
+       while we keep reading its emissions. *)
+    (try Unix.shutdown conn Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    Thread.join pump;
+    (try Unix.close conn with Unix.Unix_error _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "feed"
+       ~doc:"Connect to a local $(b,serve --listen) session, send a stream file \
+             (or stdin) line by line, half-close, and print everything the \
+             server emits until it hangs up.")
+    Term.(const run $ port_arg $ file_arg)
 
 (* --- explain --- *)
 
@@ -622,4 +885,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rtec" ~doc)
-          [ check_cmd; recognise_cmd; serve_cmd; explain_cmd; dataset_cmd ]))
+          [ check_cmd; recognise_cmd; serve_cmd; feed_cmd; explain_cmd; dataset_cmd ]))

@@ -72,6 +72,38 @@ dune exec bin/rtec_cli.exe -- serve "$EXPLAIN_DIR/ds.ed" -k "$EXPLAIN_DIR/ds.kb"
 diff "$EXPLAIN_DIR/batch.out" "$EXPLAIN_DIR/serve.out" \
   || { echo "serve smoke: serve output diverges from recognise"; exit 1; }
 
+# Multi-client serve smoke: two concurrent TCP clients each send half the
+# maritime stream into one `serve --listen --clients 2` session, and every
+# client's final emission must be byte-identical to single-client
+# `recognise` over the whole stream. With no --tick-every there are no
+# mid-stream queries, so the cross-client interleaving (which varies run
+# to run) cannot introduce lateness: one drain at the end sees the merged
+# stream, whatever order the halves arrived in. The binary is invoked
+# directly: concurrent `dune exec` processes serialise on the build lock.
+RTEC=./_build/default/bin/rtec_cli.exe
+total=$(wc -l < "$EXPLAIN_DIR/ds.stream")
+half=$((total / 2))
+head -n "$half" "$EXPLAIN_DIR/ds.stream" > "$EXPLAIN_DIR/half1.stream"
+tail -n +"$((half + 1))" "$EXPLAIN_DIR/ds.stream" > "$EXPLAIN_DIR/half2.stream"
+SERVE_PORT=47613
+"$RTEC" serve "$EXPLAIN_DIR/ds.ed" -k "$EXPLAIN_DIR/ds.kb" -w 3600 -s 1800 \
+  --listen "$SERVE_PORT" --clients 2 2> "$EXPLAIN_DIR/serve2.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q listening "$EXPLAIN_DIR/serve2.err" 2>/dev/null && break
+  sleep 0.1
+done
+"$RTEC" feed "$SERVE_PORT" "$EXPLAIN_DIR/half1.stream" > "$EXPLAIN_DIR/client1.out" &
+CLIENT1_PID=$!
+"$RTEC" feed "$SERVE_PORT" "$EXPLAIN_DIR/half2.stream" > "$EXPLAIN_DIR/client2.out"
+wait "$CLIENT1_PID"
+wait "$SERVE_PID"
+for c in client1 client2; do
+  grep -v '^%' "$EXPLAIN_DIR/$c.out" > "$EXPLAIN_DIR/$c.cmp"
+  diff "$EXPLAIN_DIR/batch.out" "$EXPLAIN_DIR/$c.cmp" \
+    || { echo "serve smoke: two-client $c output diverges from recognise"; exit 1; }
+done
+
 # The multicore smoke row embeds the jobs value in its name, so the
 # drift gate only ever compares it against a baseline recorded with the
 # same fan-out; the sequential rows are checked as before.

@@ -69,7 +69,7 @@ let () =
               Hashtbl.add seen key ();
               Format.printf "[tick %s] recognised %s@." (hms now) key
             end)
-          (Rtec.Engine.find_fluent r.intervals indicator))
+          (Rtec.Engine.find_fluent (Lazy.force r.intervals) indicator))
       watched
   in
 
@@ -114,4 +114,4 @@ let () =
       | Ok (result, _) -> result
       | Error e -> failwith e
     in
-    Format.printf "identical to the in-order batch run: %b@." (r.intervals = batch_result)
+    Format.printf "identical to the in-order batch run: %b@." (Lazy.force r.intervals = batch_result)

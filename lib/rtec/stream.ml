@@ -10,14 +10,34 @@ module M = Map.Make (struct
   let compare = compare
 end)
 
+(* The queryable form: every index materialised. [evs] and [times] are
+   sorted by time (stable — insertion order on ties), the per-indicator
+   arrays are the time-ordered subsequences of [evs]. *)
+type packed = {
+  evs : event array;
+  times : int array;  (* times of [evs], for binary-searched counts *)
+  by_indicator : event array M.t;
+}
+
+(* A stream is either packed or a packed base plus a chain of sorted
+   pending tails. Appends only push a tail (O(batch)); the first query
+   access merges the whole chain in one pass and caches the packed form
+   in [repr]. Scalar facts (size, extent, input fluents) are maintained
+   eagerly so watermark/extent bookkeeping never forces the indexes.
+
+   Concurrency: forcing mutates [repr], so a stream with pending tails
+   must be owned by a single domain until packed. The runtime respects
+   this by construction — partition shards and service buckets are each
+   touched by exactly one worker per pass, with happens-before at the
+   pool join — and a packed stream is immutable and freely shared. *)
 type t = {
-  by_indicator : event array M.t;  (* each array sorted by time *)
-  all : event list;  (* sorted by time *)
-  times : int array;  (* sorted times of [all], for binary-searched counts *)
   size : int;
   extent : int * int;
   input_fluents : ((Term.t * Term.t) * Interval.t) list;
+  mutable repr : repr;
 }
+
+and repr = Packed of packed | Pending of { base : t; tail : event array }
 
 (* Duplicate (fluent, value) keys are unioned rather than concatenated, so
    downstream consumers see one entry per FVP; first-occurrence order is
@@ -40,41 +60,137 @@ let dedup_input_fluents input_fluents =
       (fun (f, v) -> Hashtbl.find tbl (Term.to_string f, Term.to_string v))
       !order
 
-(* Builds a stream from an already time-sorted event list. *)
-let of_sorted ~input_fluents sorted =
-  let grouped =
-    List.fold_left
-      (fun acc e ->
-        let key = Term.indicator e.term in
-        let existing = Option.value ~default:[] (M.find_opt key acc) in
-        M.add key (e :: existing) acc)
-      M.empty sorted
+(* Stable merge of two time-sorted event arrays; elements of [a] precede
+   equal-time elements of [b]. The common streaming case — the tail
+   starts at or after the base's last event — degrades to a plain
+   concatenation. Never mutates its inputs (results may share them). *)
+let merge_sorted a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 then b
+  else if m = 0 then a
+  else if a.(n - 1).time <= b.(0).time then Array.append a b
+  else begin
+    let out = Array.make (n + m) a.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to n + m - 1 do
+      if !j >= m || (!i < n && a.(!i).time <= b.(!j).time) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* Groups a sorted event array into the packed indexes. *)
+let pack_sorted_array evs =
+  let groups = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let key = Term.indicator e.term in
+      match Hashtbl.find_opt groups key with
+      | Some r -> r := e :: !r
+      | None -> Hashtbl.replace groups key (ref [ e ]))
+    evs;
+  let by_indicator =
+    Hashtbl.fold
+      (fun key r acc -> M.add key (Array.of_list (List.rev !r)) acc)
+      groups M.empty
   in
-  let by_indicator = M.map (fun es -> Array.of_list (List.rev es)) grouped in
-  let times = Array.of_list (List.map (fun e -> e.time) sorted) in
-  let size = Array.length times in
-  let extent = if size = 0 then (0, 0) else (times.(0), times.(size - 1)) in
+  { evs; times = Array.map (fun e -> e.time) evs; by_indicator }
+
+(* Merges a sorted tail into a packed base. [times] is rebuilt in one
+   pass; [by_indicator] is updated only for indicators present in the
+   tail, sharing the untouched arrays of the base. *)
+let merge_packed bp tail =
+  if Array.length tail = 0 then bp
+  else begin
+    let evs = merge_sorted bp.evs tail in
+    let tail_groups = Hashtbl.create 8 in
+    Array.iter
+      (fun e ->
+        let key = Term.indicator e.term in
+        match Hashtbl.find_opt tail_groups key with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.replace tail_groups key (ref [ e ]))
+      tail;
+    let by_indicator =
+      Hashtbl.fold
+        (fun key r acc ->
+          let fresh = Array.of_list (List.rev !r) in
+          M.update key
+            (function
+              | None -> Some fresh
+              | Some old -> Some (merge_sorted old fresh))
+            acc)
+        tail_groups bp.by_indicator
+    in
+    { evs; times = Array.map (fun e -> e.time) evs; by_indicator }
+  end
+
+let sorted_tails tails =
+  match tails with
+  | [ t ] -> t
+  | ts ->
+    let all = Array.concat ts in
+    let sorted = ref true in
+    for i = 1 to Array.length all - 1 do
+      if all.(i).time < all.(i - 1).time then sorted := false
+    done;
+    (* Stable sort keeps append order on equal times, matching the
+       chained-merge semantics of the eager implementation. *)
+    if not !sorted then Array.stable_sort (fun a b -> Int.compare a.time b.time) all;
+    all
+
+(* Materialises (and caches) the packed indexes: walks the pending chain
+   collecting tails oldest-first, merges them into one sorted tail, then
+   merges that into the packed base — one merge per query grid advance
+   instead of one per append. *)
+let force s =
+  match s.repr with
+  | Packed p -> p
+  | Pending _ ->
+    let rec collect s tails =
+      match s.repr with
+      | Packed p -> (p, tails)
+      | Pending { base; tail } -> collect base (tail :: tails)
+    in
+    let bp, tails = collect s [] in
+    let p = merge_packed bp (sorted_tails tails) in
+    s.repr <- Packed p;
+    p
+
+let of_packed ~input_fluents p =
+  let n = Array.length p.evs in
   {
-    by_indicator;
-    all = sorted;
-    times;
-    size;
-    extent;
+    size = n;
+    extent = (if n = 0 then (0, 0) else (p.times.(0), p.times.(n - 1)));
     input_fluents = dedup_input_fluents input_fluents;
+    repr = Packed p;
   }
 
-let make ?(input_fluents = []) events =
-  List.iter
-    (fun e ->
-      if not (Term.is_ground e.term) then
-        invalid_arg
-          (Printf.sprintf "Stream.make: event %s is not ground" (Term.to_string e.term)))
-    events;
+(* Builds a stream from an already time-sorted event list. *)
+let of_sorted ~input_fluents sorted =
+  of_packed ~input_fluents (pack_sorted_array (Array.of_list sorted))
+
+let check_event_ground ~ctx e =
+  if not (Term.is_ground e.term) then
+    invalid_arg
+      (Printf.sprintf "%s: event %s is not ground" ctx (Term.to_string e.term))
+
+let check_fluents_ground ~ctx fluents =
   List.iter
     (fun ((f, v), _) ->
       if not (Term.is_ground f && Term.is_ground v) then
-        invalid_arg "Stream.make: input fluent is not ground")
-    input_fluents;
+        invalid_arg (ctx ^ ": input fluent is not ground"))
+    fluents
+
+let make ?(input_fluents = []) events =
+  List.iter (check_event_ground ~ctx:"Stream.make") events;
+  check_fluents_ground ~ctx:"Stream.make" input_fluents;
   of_sorted ~input_fluents (List.stable_sort (fun a b -> Int.compare a.time b.time) events)
 
 let of_items items =
@@ -92,7 +208,7 @@ let item_time = function
   | Fluent (_, spans) -> (
     match Interval.to_list spans with [] -> max_int | (s, _) :: _ -> s)
 
-let events s = s.all
+let events s = Array.to_list (force s).evs
 let size s = s.size
 let extent s = s.extent
 
@@ -116,10 +232,12 @@ let lower_bound_time arr t =
 
 let count_in s ~from ~until =
   if until < from then 0
-  else lower_bound_time s.times (until + 1) - lower_bound_time s.times from
+  else
+    let p = force s in
+    lower_bound_time p.times (until + 1) - lower_bound_time p.times from
 
 let events_in s ~functor_ ~from ~until =
-  match M.find_opt functor_ s.by_indicator with
+  match M.find_opt functor_ (force s).by_indicator with
   | None -> []
   | Some arr ->
     let start = lower_bound arr from in
@@ -132,9 +250,10 @@ let events_in s ~functor_ ~from ~until =
 let events_at s ~functor_ ~time = events_in s ~functor_ ~from:time ~until:time
 
 let indexed s ~functor_ =
-  Option.value ~default:[||] (M.find_opt functor_ s.by_indicator)
+  Option.value ~default:[||] (M.find_opt functor_ (force s).by_indicator)
+
 let input_fluents s = s.input_fluents
-let indicators s = List.map fst (M.bindings s.by_indicator)
+let indicators s = List.map fst (M.bindings (force s).by_indicator)
 
 (* --- entity sharding ---
 
@@ -177,7 +296,7 @@ let entities s =
         end)
       (first_argument term)
   in
-  List.iter (fun e -> note e.term) s.all;
+  Array.iter (fun e -> note e.term) (force s).evs;
   List.iter (fun ((f, _), _) -> note f) s.input_fluents;
   List.rev !order
 
@@ -204,6 +323,7 @@ let uf_union parent i j =
   if ri <> rj then parent.(max ri rj) <- min ri rj
 
 let partition ?shards s =
+  let evs = (force s).evs in
   let entity_list = entities s in
   let keys = TermTbl.create 64 in
   List.iteri (fun i e -> TermTbl.replace keys e i) entity_list;
@@ -219,7 +339,7 @@ let partition ?shards s =
       let i = TermTbl.find keys e in
       List.iter (fun e' -> uf_union parent i (TermTbl.find keys e')) rest
   in
-  List.iter (fun e -> union_item e.term) s.all;
+  Array.iter (fun e -> union_item e.term) evs;
   List.iter (fun ((f, v), _) -> union_item (Term.app "=" [ f; v ])) s.input_fluents;
   if not !splittable then [ s ]
   else begin
@@ -245,7 +365,9 @@ let partition ?shards s =
        (stable sort, ties to the lowest-loaded then lowest-index shard). *)
     let shards = max 1 (min n_components (Option.value ~default:n_components shards)) in
     let sizes = Array.make n_components 0 in
-    List.iter (fun e -> sizes.(component_of e.term) <- sizes.(component_of e.term) + 1) s.all;
+    Array.iter
+      (fun e -> sizes.(component_of e.term) <- sizes.(component_of e.term) + 1)
+      evs;
     let order = List.init n_components (fun c -> c) in
     let order =
       List.stable_sort (fun a b -> Int.compare sizes.(b) sizes.(a)) order
@@ -261,14 +383,14 @@ let partition ?shards s =
         shard_of_component.(c) <- !best;
         load.(!best) <- load.(!best) + sizes.(c))
       order;
-    (* One pass over the sorted event list buckets every shard's events
+    (* One pass over the sorted event array buckets every shard's events
        in time order; input fluents follow their component. *)
     let shard_events = Array.make shards [] in
-    List.iter
+    Array.iter
       (fun e ->
         let k = shard_of_component.(component_of e.term) in
         shard_events.(k) <- e :: shard_events.(k))
-      s.all;
+      evs;
     let shard_fluents = Array.make shards [] in
     List.iter
       (fun (((f, v), _) as entry) ->
@@ -283,36 +405,98 @@ let m_appends = Telemetry.Metrics.counter "stream.appends"
 let h_append_events = Telemetry.Metrics.histogram "stream.append_events"
 let h_merged_size = Telemetry.Metrics.histogram "stream.merged_size"
 
+(* Input fluents of both sides are already deduped (every constructor
+   dedups), so the union only needs recomputing when both contribute. *)
+let combine_input_fluents fa fb =
+  match (fa, fb) with [], f | f, [] -> f | fa, fb -> dedup_input_fluents (fa @ fb)
+
+let combine_extent a b =
+  if a.size = 0 then b.extent
+  else if b.size = 0 then a.extent
+  else (min (fst a.extent) (fst b.extent), max (snd a.extent) (snd b.extent))
+
 let append a b =
   Telemetry.Metrics.incr m_appends;
   Telemetry.Metrics.observe h_append_events (float_of_int b.size);
   Telemetry.Metrics.observe h_merged_size (float_of_int (a.size + b.size));
-  (* Both event lists are already sorted: a single merge suffices.
-     [List.merge] keeps elements of [a] before equal-time elements of [b],
-     matching the stable sort in [make]. *)
-  of_sorted
-    ~input_fluents:(a.input_fluents @ b.input_fluents)
-    (List.merge (fun (x : event) y -> Int.compare x.time y.time) a.all b.all)
+  (* O(batch): push [b]'s (already sorted) events as a pending tail.
+     Equal-time events of [a] stay before those of [b] when the chain is
+     eventually forced, matching the stable sort in [make]. *)
+  {
+    size = a.size + b.size;
+    extent = combine_extent a b;
+    input_fluents = combine_input_fluents a.input_fluents b.input_fluents;
+    repr = Pending { base = a; tail = (force b).evs };
+  }
+
+let append_items s ?(input_fluents = []) items =
+  Array.iter (check_event_ground ~ctx:"Stream.append_items") items;
+  check_fluents_ground ~ctx:"Stream.append_items" input_fluents;
+  Telemetry.Metrics.incr m_appends;
+  Telemetry.Metrics.observe h_append_events (float_of_int (Array.length items));
+  Telemetry.Metrics.observe h_merged_size (float_of_int (s.size + Array.length items));
+  Array.stable_sort (fun (a : event) b -> Int.compare a.time b.time) items;
+  let n = Array.length items in
+  let tail_extent =
+    if n = 0 then (0, 0) else (items.(0).time, items.(n - 1).time)
+  in
+  {
+    size = s.size + n;
+    extent =
+      (if s.size = 0 then tail_extent
+       else if n = 0 then s.extent
+       else
+         ( min (fst s.extent) (fst tail_extent),
+           max (snd s.extent) (snd tail_extent) ));
+    input_fluents =
+      combine_input_fluents s.input_fluents (dedup_input_fluents input_fluents);
+    repr = Pending { base = s; tail = items };
+  }
 
 (* Chunked ingestion: fold a sequence of already-built batches into one
-   stream via [append]. This is the entry point streaming front-ends use
-   (the CLI's multi-file recognise goes through it), so the appends
-   telemetry above reflects real merge traffic. *)
+   stream via [append], then force the single chain merge — the "one
+   merge per tick" the lazy representation buys. This is the entry point
+   batch front-ends use (the CLI's multi-file recognise goes through
+   it), so the appends telemetry above reflects real merge traffic. *)
 let of_batches = function
   | [] -> make []
-  | first :: rest -> List.fold_left append first rest
+  | first :: rest ->
+    let s = List.fold_left append first rest in
+    ignore (force s);
+    s
 
 (* History trimming for the streaming service: events strictly older
    than [t] can no longer fall inside any future (or revisable) window,
    so drop them. Input fluents stay — there are few of them, the engine
    clamps them per window, and trimming their spans would complicate the
-   revision replay for no working-set gain. *)
+   revision replay for no working-set gain. The cut is three array
+   slices plus a per-indicator trim (arrays with nothing to drop are
+   shared), not a rebuild. *)
 let drop_before s t =
-  let keep = lower_bound_time s.times t in
+  let p = force s in
+  let keep = lower_bound_time p.times t in
   if keep = 0 then s
-  else
-    of_sorted ~input_fluents:s.input_fluents
-      (List.filteri (fun i _ -> i >= keep) s.all)
+  else begin
+    let n = s.size - keep in
+    let evs = Array.sub p.evs keep n in
+    let times = Array.sub p.times keep n in
+    let by_indicator =
+      M.filter_map
+        (fun _ arr ->
+          let cut = lower_bound arr t in
+          if cut = 0 then Some arr
+          else
+            let len = Array.length arr - cut in
+            if len = 0 then None else Some (Array.sub arr cut len))
+        p.by_indicator
+    in
+    {
+      size = n;
+      extent = (if n = 0 then (0, 0) else (times.(0), times.(n - 1)));
+      input_fluents = s.input_fluents;
+      repr = Packed { evs; times; by_indicator };
+    }
+  end
 
 let first_input_time s =
   let event_lo = if s.size = 0 then None else Some (fst s.extent) in

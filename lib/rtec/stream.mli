@@ -62,10 +62,29 @@ val indicators : t -> (string * int) list
 (** Event indicators present in the stream. *)
 
 val append : t -> t -> t
-(** Concatenates two streams by merging their already-sorted event lists;
-    duplicate input-fluent keys are unioned. Instrumented: bumps the
+(** Concatenates two streams. O(appended batch): the new events are kept
+    as a pending tail and the sorted indexes are rebuilt lazily, in one
+    merge, on the first query access (so a burst of appends between two
+    query-grid advances costs one merge, not one per append). Size,
+    extent and input fluents are maintained eagerly; duplicate
+    input-fluent keys are unioned. Equal-time events of the left stream
+    stay before those of the right. Instrumented: bumps the
     [stream.appends] counter and the [stream.append_events] /
-    [stream.merged_size] histograms when telemetry is enabled. *)
+    [stream.merged_size] histograms when telemetry is enabled.
+
+    A stream with an unforced tail must be queried from a single domain
+    until its first query access packs it (the runtime's partition
+    shards and service buckets each belong to one worker per pass, which
+    satisfies this); a packed stream is immutable and freely shared. *)
+
+val append_items : t -> ?input_fluents:((Term.t * Term.t) * Interval.t) list -> event array -> t
+(** [append_items s items] appends a batch of events (and optional input
+    fluents) without building an intermediate stream — the array-based
+    fast path the streaming service's ingest scratch uses. Takes
+    ownership of [items]: the array is sorted in place (stable, so
+    equal-time events keep their array order) and must not be reused by
+    the caller. Raises [Invalid_argument] on non-ground events or
+    fluents. Same laziness, ordering and instrumentation as {!append}. *)
 
 val of_batches : t list -> t
 (** Folds a list of event batches into one stream with {!append}; the
@@ -76,8 +95,10 @@ val drop_before : t -> int -> t
 (** [drop_before s t] is [s] without the events older than time-point
     [t]; input fluents are kept untouched (they are few, and the engine
     clamps them to each window anyway). Returns [s] itself when nothing
-    is dropped. The streaming service trims finalised history with this
-    to keep its working set bounded. *)
+    is dropped; otherwise the cut is array slices (per-indicator arrays
+    with nothing to drop are shared), not a rebuild. The streaming
+    service trims finalised history with this to keep its working set
+    bounded. *)
 
 val first_input_time : t -> int option
 (** The earliest time-point at which the stream carries any information:

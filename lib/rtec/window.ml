@@ -203,6 +203,11 @@ module Session = struct
     }
 
   let result t = FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) t.accumulated []
+
+  (* O(1) capture: the sequence ranges over the persistent accumulated
+     map as of this call, unaffected by later [process]/[restore] — what
+     the streaming service's lazy per-tick results are built from. *)
+  let result_seq t = FvpMap.to_seq t.accumulated
   let stats t = { queries = t.queries; events_processed = t.events_processed }
 end
 

@@ -87,6 +87,13 @@ module Session : sig
   (** The accumulated intervals, in the canonical fluent-value order —
       the same list {!run} returns. *)
 
+  val result_seq : t -> (Engine.fvp * Interval.t) Seq.t
+  (** The accumulated intervals as a persistent sequence captured in
+      O(1): it ranges over the state as of the call and is unaffected by
+      later {!process}/{!restore}. The streaming service builds its lazy
+      per-tick results from this, so ticks whose result is discarded
+      never pay the merge. *)
+
   val stats : t -> stats
 end
 

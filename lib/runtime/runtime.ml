@@ -65,7 +65,7 @@ let run ~config:(config : config) ~event_description ~knowledge ~stream () =
       | Result.Error e -> Result.Error e
       | Ok (r : Service.result) ->
         Ok
-          ( r.intervals,
+          ( Lazy.force r.intervals,
             {
               queries = r.stats.queries;
               events_processed = r.stats.events_processed;

@@ -70,7 +70,11 @@ type stats = {
   entities_evicted : int;
 }
 
-type result = { intervals : Rtec.Engine.result; watermark : int option; stats : stats }
+type result = {
+  intervals : Rtec.Engine.result Lazy.t;
+  watermark : int option;
+  stats : stats;
+}
 
 type bucket = {
   id : int;
@@ -88,6 +92,14 @@ type bucket = {
   mutable revise_from : int option;
   mutable alive : bool;
   mutable merged_into : bucket option;
+  (* Reusable ingest scratch: routed items land here (amortised array
+     pushes, no per-item allocation) and one [Stream.append_items] per
+     touched bucket flushes them at the end of the ingest call. *)
+  mutable scr_events : Rtec.Stream.event array;
+  mutable scr_n : int;
+  mutable scr_fluents : ((Rtec.Term.t * Rtec.Term.t) * Rtec.Interval.t) list;
+      (* reversed arrival order; input fluents are rare *)
+  mutable scr_touched : bool;
 }
 
 type t = {
@@ -195,6 +207,10 @@ let new_bucket svc =
       revise_from = None;
       alive = true;
       merged_into = None;
+      scr_events = [||];
+      scr_n = 0;
+      scr_fluents = [];
+      scr_touched = false;
     }
   in
   svc.next_id <- svc.next_id + 1;
@@ -359,16 +375,24 @@ let route svc item =
 
 (* --- ingestion --- *)
 
+let push_scratch touched b item =
+  if not b.scr_touched then begin
+    b.scr_touched <- true;
+    touched := b :: !touched
+  end;
+  match item with
+  | Rtec.Stream.Event e ->
+    if b.scr_n = Array.length b.scr_events then begin
+      let grown = Array.make (max 16 (2 * b.scr_n)) e in
+      Array.blit b.scr_events 0 grown 0 b.scr_n;
+      b.scr_events <- grown
+    end;
+    b.scr_events.(b.scr_n) <- e;
+    b.scr_n <- b.scr_n + 1
+  | Rtec.Stream.Fluent (fv, spans) -> b.scr_fluents <- (fv, spans) :: b.scr_fluents
+
 let ingest svc items =
-  let batches = ref [] and batch_of = Hashtbl.create 8 in
-  let push b item =
-    match Hashtbl.find_opt batch_of b.id with
-    | Some acc -> acc := item :: !acc
-    | None ->
-      let acc = ref [ item ] in
-      Hashtbl.replace batch_of b.id acc;
-      batches := (b, acc) :: !batches
-  in
+  let touched = ref [] in
   List.iter
     (fun item ->
       let t = Rtec.Stream.item_time item in
@@ -397,7 +421,7 @@ let ingest svc items =
           svc.ev_hi <- Some (match svc.ev_hi with None -> e.time | Some x -> max x e.time)
         | Rtec.Stream.Fluent _ -> ());
         let b = route svc item in
-        push b item;
+        push_scratch touched b item;
         if t <> max_int then b.last_seen <- max b.last_seen t;
         if late then
           b.revise_from <-
@@ -406,22 +430,49 @@ let ingest svc items =
     items;
   (* One stream append per touched bucket, in first-touch order; buckets
      that merged while the batch was being routed flush into the
-     surviving bucket. *)
+     surviving bucket, their scratches concatenated in first-touch
+     order. *)
   let grouped = Hashtbl.create 8 and order = ref [] in
   List.iter
-    (fun (b, acc) ->
+    (fun b ->
       let r = resolve_bucket b in
       match Hashtbl.find_opt grouped r.id with
-      | Some parts -> parts := List.rev !acc :: !parts
+      | Some parts -> parts := b :: !parts
       | None ->
-        let parts = ref [ List.rev !acc ] in
+        let parts = ref [ b ] in
         Hashtbl.replace grouped r.id parts;
         order := (r, parts) :: !order)
-    (List.rev !batches);
+    (List.rev !touched);
   List.iter
     (fun (r, parts) ->
-      let batch = Rtec.Stream.of_items (List.concat (List.rev !parts)) in
-      r.stream <- Rtec.Stream.append r.stream batch;
+      let parts = List.rev !parts in
+      let tail =
+        match parts with
+        | [ b ] -> Array.sub b.scr_events 0 b.scr_n
+        | _ -> (
+          match List.find_opt (fun b -> b.scr_n > 0) parts with
+          | None -> [||]
+          | Some b0 ->
+            let total = List.fold_left (fun acc b -> acc + b.scr_n) 0 parts in
+            let out = Array.make total b0.scr_events.(0) in
+            let off = ref 0 in
+            List.iter
+              (fun b ->
+                Array.blit b.scr_events 0 out !off b.scr_n;
+                off := !off + b.scr_n)
+              parts;
+            out)
+      in
+      let input_fluents =
+        List.concat_map (fun b -> List.rev b.scr_fluents) parts
+      in
+      List.iter
+        (fun b ->
+          b.scr_n <- 0;
+          b.scr_fluents <- [];
+          b.scr_touched <- false)
+        parts;
+      r.stream <- Rtec.Stream.append_items r.stream ~input_fluents tail;
       svc.n_appends <- svc.n_appends + 1)
     (List.rev !order)
 
@@ -584,24 +635,36 @@ let finalise_and_evict svc ~w ~now =
   Telemetry.Metrics.set g_active (float_of_int svc.n_active);
   Telemetry.Metrics.set g_evicted (float_of_int svc.n_evicted)
 
-let current_intervals svc =
-  let merged =
-    List.fold_left
-      (fun acc b ->
+(* The per-tick result is captured in O(1) — the retired map and each
+   live session's accumulated map are persistent values — and merged
+   only if the caller forces it, so ticks whose intervals are discarded
+   (--emit final serving, watermark-driven ticking) never pay the
+   amalgamation over an ever-growing history. *)
+let capture_intervals svc =
+  let seqs =
+    List.filter_map
+      (fun b ->
         match b.session with
-        | Some s when b.alive ->
-          List.fold_left
-            (fun acc (fv, spans) ->
-              FvpMap.update fv
-                (function
-                  | None -> Some spans
-                  | Some prev -> Some (Rtec.Interval.union prev spans))
-                acc)
-            acc (Session.result s)
-        | _ -> acc)
-      svc.retired svc.buckets
+        | Some s when b.alive -> Some (Session.result_seq s)
+        | _ -> None)
+      svc.buckets
   in
-  FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) merged []
+  let retired = svc.retired in
+  lazy
+    (let merged =
+       List.fold_left
+         (fun acc seq ->
+           Seq.fold_left
+             (fun acc (fv, spans) ->
+               FvpMap.update fv
+                 (function
+                   | None -> Some spans
+                   | Some prev -> Some (Rtec.Interval.union prev spans))
+                 acc)
+             acc seq)
+         retired seqs
+     in
+     FvpMap.fold (fun fv spans acc -> (fv, spans) :: acc) merged [])
 
 let stats svc =
   let queries, events =
@@ -680,7 +743,7 @@ let process_pass svc ~w ~s ~now qs =
     | [] -> ());
     finalise_and_evict svc ~w ~now;
     if Rtec.Derivation.is_enabled () then Rtec.Derivation.publish_metrics ();
-    Ok { intervals = current_intervals svc; watermark = svc.ev_hi; stats = stats svc }
+    Ok { intervals = capture_intervals svc; watermark = svc.ev_hi; stats = stats svc }
 
 (* The unprocessed grid queries up to and including [until]. The grid is
    anchored at the (frozen) origin and never revisits a processed query;

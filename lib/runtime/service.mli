@@ -71,9 +71,13 @@ type stats = {
 }
 
 type result = {
-  intervals : Rtec.Engine.result;
+  intervals : Rtec.Engine.result Lazy.t;
       (** all recognised maximal intervals so far (evicted entities'
-          frozen history included), in the canonical fluent-value order *)
+          frozen history included), in the canonical fluent-value order.
+          Captured in O(1) from persistent state at tick time and merged
+          on first force, so callers that discard a tick's intervals
+          (e.g. [--emit final] serving) never pay the amalgamation; the
+          forced value is unaffected by later ingests or ticks. *)
   watermark : int option;  (** greatest accepted event time *)
   stats : stats;
 }
@@ -97,9 +101,11 @@ val ingest : t -> Rtec.Stream.item list -> unit
     in time order: an item at or before the last processed query is late
     — within the revision horizon it schedules its entity shard for
     rollback-and-replay at the next {!tick}; beyond it (or before the
-    frozen grid origin) it is counted and dropped. Each touched bucket
-    merges the batch with one {!Rtec.Stream.append}. Raises
-    [Invalid_argument] on non-ground items. *)
+    frozen grid origin) it is counted and dropped. Routed items land in
+    per-bucket reusable scratch arrays and each touched bucket flushes
+    with one O(batch) {!Rtec.Stream.append_items} (index rebuilds are
+    deferred to the next tick's first query). Raises [Invalid_argument]
+    on non-ground items. *)
 
 val tick : t -> now:int -> (result, string) Result.t
 (** Advance the query grid through every query time at or before [now]

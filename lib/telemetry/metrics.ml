@@ -7,11 +7,12 @@ let is_enabled () = !on
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 
-(* Log-scale histogram: bucket [b] covers values up to [2 ** (b / 4)]
-   (quarter-powers of two, ~19% relative width), so percentiles over
+(* Log-scale histogram: bucket [b] covers values up to [2 ** (b / 8)]
+   (eighth-powers of two, ~9% relative width), so percentiles over
    nanosecond latencies and element counts come out within one bucket
-   of the truth at constant memory. Count/sum/min/max are exact. *)
-let buckets = 256
+   of the truth at constant memory. Count/sum/min/max are exact. The
+   512-bucket range still spans 2^64, so nothing representable clamps. *)
+let buckets = 512
 
 type histogram = {
   h_name : string;
@@ -124,10 +125,10 @@ let set g v =
 let bucket_of v =
   if v <= 1. then 0
   else
-    let b = int_of_float (Float.ceil (4. *. (Float.log v /. Float.log 2.))) in
+    let b = int_of_float (Float.ceil (8. *. (Float.log v /. Float.log 2.))) in
     min (buckets - 1) (max 0 b)
 
-let bucket_upper b = Float.pow 2. (float_of_int b /. 4.)
+let bucket_upper b = Float.pow 2. (float_of_int b /. 8.)
 
 let observe_cell h v =
   h.h_count <- h.h_count + 1;

@@ -32,7 +32,7 @@ val value : counter -> int
 val set : gauge -> float -> unit
 
 val observe : histogram -> float -> unit
-(** Record one sample. Buckets are quarter-powers of two (~19%
+(** Record one sample. Buckets are eighth-powers of two (~9%
     relative width), so percentile estimates are exact to within one
     bucket; count/sum/min/max are exact. *)
 

@@ -9,6 +9,7 @@ let () =
       ("engine", Test_engine.suite);
       ("check", Test_check.suite);
       ("stream", Test_stream.suite);
+      ("codec", Test_codec.suite);
       ("maritime", Test_maritime.suite);
       ("fleet", Test_fleet.suite);
       ("differential", Test_differential.suite);

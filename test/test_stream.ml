@@ -181,9 +181,128 @@ let test_io_rejects_garbage () =
        false
      with Invalid_argument _ -> true)
 
+(* --- qcheck property: amortised appends == one-shot build ---
+
+   A random ingestion trace — batches of events (tiny vocabulary, so
+   indicators collide and equal-time ties are common) and input-fluent
+   items, with [drop_before] interleaved — applied incrementally with
+   [append_items] must be indistinguishable from a one-shot [of_items]
+   build over the same surviving items: same events in the same order
+   (ties included), same per-indicator indexes, extent, counts and
+   fluents. [drop_before] forces the pending tail mid-trace, so the
+   trace also exercises query-after-burst packing, not just one final
+   merge. *)
+
+type trace_step =
+  | Batch of Stream.event list * ((Term.t * Term.t) * Interval.t) list
+  | Drop of int
+
+let gen_event =
+  QCheck.Gen.(
+    map3
+      (fun name arg time -> { Stream.time; term = Term.app name [ Term.Atom arg ] })
+      (oneofl [ "ping"; "pong"; "zap" ])
+      (oneofl [ "a"; "b"; "c"; "d" ])
+      (int_range 0 120))
+
+let gen_fluent =
+  QCheck.Gen.(
+    map3
+      (fun a b (s, len) ->
+        ( (Term.app "proximity" [ Term.Atom a; Term.Atom b ], Term.Atom "true"),
+          Interval.of_list [ (s, s + len + 1) ] ))
+      (oneofl [ "a"; "b" ])
+      (oneofl [ "c"; "d" ])
+      (pair (int_range 0 100) (int_range 0 20)))
+
+let gen_step =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map2
+            (fun evs fls -> Batch (evs, fls))
+            (list_size (int_range 0 8) gen_event)
+            (list_size (int_range 0 2) gen_fluent) );
+        (1, map (fun t -> Drop t) (int_range 0 120));
+      ])
+
+let arbitrary_trace =
+  QCheck.make
+    ~print:(fun steps ->
+      String.concat "; "
+        (List.map
+           (function
+             | Batch (evs, fls) ->
+               Printf.sprintf "batch[%s | %d fluents]"
+                 (String.concat ", "
+                    (List.map
+                       (fun (e : Stream.event) ->
+                         Printf.sprintf "%s@%d" (Term.to_string e.term) e.time)
+                       evs))
+                 (List.length fls)
+             | Drop t -> Printf.sprintf "drop<%d" t)
+           steps))
+    QCheck.Gen.(list_size (int_range 1 10) gen_step)
+
+let incremental steps =
+  List.fold_left
+    (fun s -> function
+      | Batch (evs, fls) -> Stream.append_items s ~input_fluents:fls (Array.of_list evs)
+      | Drop t -> Stream.drop_before s t)
+    (Stream.of_items []) steps
+
+(* The reference applies the documented semantics literally: each batch
+   is stably sorted by time (append_items' in-batch ordering), batches
+   concatenate in arrival order, a drop filters only what has arrived so
+   far, and the single [of_items] at the end owes its tie order to the
+   concatenation (its stable sort keeps insertion order). *)
+let reference steps =
+  let evs, fls =
+    List.fold_left
+      (fun (evs, fls) -> function
+        | Batch (b_evs, b_fls) ->
+          ( evs
+            @ List.stable_sort (fun (a : Stream.event) b -> compare a.time b.time) b_evs,
+            fls @ b_fls )
+        | Drop t -> (List.filter (fun (e : Stream.event) -> e.time >= t) evs, fls))
+      ([], []) steps
+  in
+  Stream.of_items
+    (List.map (fun e -> Stream.Event e) evs
+    @ List.map (fun (fv, spans) -> Stream.Fluent (fv, spans)) fls)
+
+let observe s =
+  let norm_events evs =
+    List.map (fun (e : Stream.event) -> (e.time, Term.to_string e.term)) evs
+  in
+  ( norm_events (Stream.events s),
+    Stream.size s,
+    Stream.extent s,
+    List.sort compare (Stream.indicators s),
+    List.map
+      (fun functor_ ->
+        ( norm_events (Array.to_list (Stream.indexed s ~functor_)),
+          norm_events (Stream.events_in s ~functor_ ~from:20 ~until:90),
+          norm_events (Stream.events_at s ~functor_ ~time:60) ))
+      [ ("ping", 1); ("pong", 1); ("zap", 1) ],
+    Stream.count_in s ~from:15 ~until:100,
+    List.sort compare
+      (List.map
+         (fun ((f, v), spans) ->
+           (Term.to_string f, Term.to_string v, Interval.to_list spans))
+         (Stream.input_fluents s)) )
+
+let prop_appends_match_build steps = observe (incremental steps) = observe (reference steps)
+
+let qtest name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb law)
+
 let suite =
   [
     Alcotest.test_case "non-ground events rejected" `Quick test_make_rejects_nonground;
+    qtest "random appends + drop_before == one of_items build" arbitrary_trace
+      prop_appends_match_build;
     Alcotest.test_case "io: stream round-trip" `Quick test_io_roundtrip;
     Alcotest.test_case "io: dataset round-trip" `Quick test_io_dataset_roundtrip;
     Alcotest.test_case "io: garbage rejected" `Quick test_io_rejects_garbage;

@@ -126,11 +126,11 @@ let test_histogram_percentiles () =
       Alcotest.(check (float 1e-9)) "min is exact" 1. s.Metrics.min;
       Alcotest.(check (float 1e-9)) "max is exact" 1000. s.Metrics.max;
       Alcotest.(check (float 1e-9)) "mean is exact" 500.5 s.Metrics.mean;
-      (* Buckets are quarter-powers of two: estimates land within one
-         bucket (a factor of 2**0.25 ~ 1.19) above the true quantile. *)
+      (* Buckets are eighth-powers of two: estimates land within one
+         bucket (a factor of 2**0.125 ~ 1.09) above the true quantile. *)
       let within q est =
         let truth = q *. 1000. in
-        est >= truth && est <= truth *. 1.19
+        est >= truth && est <= truth *. 1.09
       in
       Alcotest.(check bool) (Printf.sprintf "p50=%.1f within a bucket" s.Metrics.p50) true
         (within 0.50 s.Metrics.p50);
@@ -349,12 +349,12 @@ let test_metrics_prometheus () =
       Alcotest.(check bool) "histogram count" true (has "test_prom_histogram_count 2");
       Alcotest.(check bool) "histogram type" true
         (has "# TYPE test_prom_histogram histogram");
-      (* 10. and 20. land in the buckets bounded by 2^3.5 and 2^4.5;
+      (* 10. and 20. land in the buckets bounded by 2^(27/8) and 2^(35/8);
          cumulative counts, then the mandatory +Inf series *)
       Alcotest.(check bool) "first bucket cumulative" true
-        (has "test_prom_histogram_bucket{le=\"11.313708498984761\"} 1");
+        (has "test_prom_histogram_bucket{le=\"10.374716437208077\"} 1");
       Alcotest.(check bool) "second bucket cumulative" true
-        (has "test_prom_histogram_bucket{le=\"22.627416997969522\"} 2");
+        (has "test_prom_histogram_bucket{le=\"20.749432874416154\"} 2");
       Alcotest.(check bool) "+Inf closes the series" true
         (has "test_prom_histogram_bucket{le=\"+Inf\"} 2");
       Alcotest.(check bool) "no quantile series" false (has "{quantile=");
