@@ -47,6 +47,24 @@ let metrics_format_arg =
         ~doc:"Format of the --metrics snapshot: $(b,json) (indented JSON) or \
               $(b,prom) (Prometheus 0.0.4 text exposition).")
 
+(* Long-running subcommands (serve, feed) route their diagnostics
+   through the structured logger; the flag just sets the floor. *)
+let log_level_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("debug", Telemetry.Log.Debug);
+             ("info", Telemetry.Log.Info);
+             ("warn", Telemetry.Log.Warn);
+             ("error", Telemetry.Log.Error);
+           ])
+        Telemetry.Log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Minimum severity for structured stderr log lines: $(b,debug), \
+              $(b,info), $(b,warn) or $(b,error).")
+
 (* The enabled sinks are flushed at most once: normally by the explicit
    [telemetry_write] on the success path, otherwise by the [at_exit]
    handler — so a run that dies mid-recognition (exception, [exit 1])
@@ -298,7 +316,15 @@ let recognise_cmd =
    connection error. *)
 let m_ingest_blocked = Telemetry.Metrics.counter "service.ingest.blocked"
 let g_queue_depth = Telemetry.Metrics.gauge "service.ingest_queue.depth"
+let g_queue_hwm = Telemetry.Metrics.gauge "service.ingest_queue.depth_hwm"
 let m_clients_dropped = Telemetry.Metrics.counter "service.clients.dropped"
+
+(* The I/O halves of the stage-latency attribution: [decode] brackets
+   line → items decoding (on reader threads or the stdin loop), [emit]
+   brackets writing one emission to every live sink. The route and
+   evaluate stages are recorded inside [Runtime.Service]. *)
+let h_stage_decode = Telemetry.Metrics.histogram "service.stage.decode_us"
+let h_stage_emit = Telemetry.Metrics.histogram "service.stage.emit_us"
 
 (* Bounded multi-producer single-consumer ring: per-connection reader
    threads push decoded ingestion messages, the evaluator (the main
@@ -310,6 +336,7 @@ module Ring = struct
     buf : 'a option array;
     mutable head : int;  (* next slot to pop *)
     mutable len : int;
+    mutable hwm : int;  (* deepest the queue has ever been *)
     lock : Mutex.t;
     not_full : Condition.t;
     not_empty : Condition.t;
@@ -320,10 +347,20 @@ module Ring = struct
       buf = Array.make capacity None;
       head = 0;
       len = 0;
+      hwm = 0;
       lock = Mutex.create ();
       not_full = Condition.create ();
       not_empty = Condition.create ();
     }
+
+  (* Sampled on both push and pop: [depth] is the instantaneous queue
+     length (so a post-run snapshot of it alone reads 0 — the evaluator
+     drains the ring), [depth_hwm] keeps the deepest point the queue
+     reached, which is the number a capacity decision actually needs. *)
+  let note_depth t =
+    if t.len > t.hwm then t.hwm <- t.len;
+    Telemetry.Metrics.set g_queue_depth (float_of_int t.len);
+    Telemetry.Metrics.set g_queue_hwm (float_of_int t.hwm)
 
   let push t x =
     Mutex.lock t.lock;
@@ -336,7 +373,7 @@ module Ring = struct
     end;
     t.buf.((t.head + t.len) mod cap) <- Some x;
     t.len <- t.len + 1;
-    Telemetry.Metrics.set g_queue_depth (float_of_int t.len);
+    note_depth t;
     Condition.signal t.not_empty;
     Mutex.unlock t.lock
 
@@ -349,10 +386,14 @@ module Ring = struct
     t.buf.(t.head) <- None;
     t.head <- (t.head + 1) mod Array.length t.buf;
     t.len <- t.len - 1;
-    Telemetry.Metrics.set g_queue_depth (float_of_int t.len);
+    note_depth t;
     Condition.signal t.not_full;
     Mutex.unlock t.lock;
     x
+
+  let depth t = Mutex.protect t.lock (fun () -> t.len)
+  let high_water t = Mutex.protect t.lock (fun () -> t.hwm)
+  let capacity t = Array.length t.buf
 end
 
 (* One message per protocol line, decoded on the reader thread (each
@@ -404,7 +445,10 @@ let reader_thread ~slot ~ic ~queue =
      while true do
        let line = String.trim (input_line ic) in
        if line = "" || line.[0] = '%' then ()
-       else Ring.push queue (decode_line codec line)
+       else
+         Ring.push queue
+           (Telemetry.Metrics.time_us h_stage_decode (fun () ->
+                decode_line codec line))
      done
    with
   | End_of_file -> ()
@@ -457,11 +501,28 @@ let serve_cmd =
                 snapshot after every tick, each preceded by a '% tick' comment \
                 line).")
   in
+  let admin_port_arg =
+    Arg.(value & opt (some int) None & info [ "admin-port" ] ~docv:"PORT"
+           ~doc:"Serve a live introspection endpoint on 127.0.0.1:PORT (0 picks \
+                 an ephemeral port): $(b,/metrics) (Prometheus text exposition), \
+                 $(b,/healthz) (liveness and queue saturation), $(b,/statusz) \
+                 (session status as JSON) and $(b,/lastz) (flight-recorder \
+                 dump). Implies metrics collection.")
+  in
+  let flight_arg =
+    Arg.(value & opt (some string) None & info [ "flight-recorder" ] ~docv:"FILE"
+           ~doc:"Dump the in-memory flight recorder (a bounded ring of recent \
+                 ingest/tick/revision/eviction/client events) to FILE as JSON \
+                 when the session ends, however it ends.")
+  in
   let run ed_file (flags : recognition_flags) horizon ttl listen clients tick_every emit
-      trace metrics metrics_format =
+      admin_port flight_file log_level trace metrics metrics_format =
     telemetry_setup ~trace ~metrics ~metrics_format;
+    Telemetry.Log.set_level log_level;
+    Option.iter Telemetry.Flight.arm flight_file;
+    Telemetry.Flight.record Session_start ();
     if clients < 1 then begin
-      Printf.eprintf "--clients must be positive\n";
+      Telemetry.Log.error ~src:"serve" "--clients must be positive";
       exit 2
     end;
     Option.iter
@@ -478,22 +539,146 @@ let serve_cmd =
              ~compile:(not flags.interpret) ~horizon ?ttl ())
         ~event_description:ed ~knowledge ()
     in
+    (* --- live introspection state shared with the admin endpoint --- *)
+    let serve_start_ns = Telemetry.Clock.now_ns () in
+    let last_activity = ref serve_start_ns in
+    let touch () = last_activity := Telemetry.Clock.now_ns () in
+    (* One slot per client connection ("waiting" → "streaming" → "eof" /
+       "dropped_read" / "dropped_write"); stdin mode has the one
+       implicit client. Plain string stores: the admin thread only ever
+       reads them, advisorily. *)
+    let client_states =
+      match listen with None -> [| "stdin" |] | Some _ -> Array.make clients "waiting"
+    in
+    let set_client_state slot state =
+      if slot >= 0 && slot < Array.length client_states then
+        client_states.(slot) <- state
+    in
+    (* Filled in by the TCP branch once the ingest ring exists. *)
+    let queue_probe : (unit -> int * int * int) option ref = ref None in
+    let admin =
+      match admin_port with
+      | None -> None
+      | Some p ->
+        (* A scrape target is only useful live: --admin-port implies
+           metrics collection even without a --metrics file. *)
+        Telemetry.Metrics.enable ();
+        let queue_json () =
+          match !queue_probe with
+          | None -> Telemetry.Json.Null
+          | Some probe ->
+            let depth, hwm, cap = probe () in
+            Telemetry.Json.Obj
+              [
+                ("depth", Telemetry.Json.Num (float_of_int depth));
+                ("depth_hwm", Telemetry.Json.Num (float_of_int hwm));
+                ("capacity", Telemetry.Json.Num (float_of_int cap));
+              ]
+        in
+        let healthz () =
+          let depth, _, cap =
+            match !queue_probe with None -> (0, 0, 0) | Some probe -> probe ()
+          in
+          let idle_ns =
+            Int64.to_int (Int64.sub (Telemetry.Clock.now_ns ()) !last_activity)
+          in
+          let saturated = cap > 0 && depth = cap in
+          (* Unhealthy only when the ingest queue is full AND the
+             evaluator has made no progress for 10s — saturation alone is
+             backpressure working as designed. *)
+          let stalled = saturated && idle_ns > 10_000_000_000 in
+          Telemetry.Admin.json
+            ~status:(if stalled then 503 else 200)
+            (Telemetry.Json.Obj
+               [
+                 ("status", Telemetry.Json.Str (if stalled then "stalled" else "ok"));
+                 ("queue_saturated", Telemetry.Json.Bool saturated);
+                 ("idle_ms", Telemetry.Json.Num (float_of_int idle_ns /. 1e6));
+               ])
+        in
+        let statusz () =
+          let st = Runtime.Service.stats svc in
+          let num i = Telemetry.Json.Num (float_of_int i) in
+          Telemetry.Admin.json
+            (Telemetry.Json.Obj
+               [
+                 ( "uptime_s",
+                   Telemetry.Json.Num
+                     (Int64.to_float
+                        (Int64.sub (Telemetry.Clock.now_ns ()) serve_start_ns)
+                     /. 1e9) );
+                 ( "watermark",
+                   match Runtime.Service.watermark svc with
+                   | None -> Telemetry.Json.Null
+                   | Some w -> num w );
+                 ( "stats",
+                   Telemetry.Json.Obj
+                     [
+                       ("queries", num st.queries);
+                       ("events_processed", num st.events_processed);
+                       ("buckets", num st.buckets);
+                       ("jobs", num st.jobs);
+                       ("appends", num st.appends);
+                       ("late_events", num st.late_events);
+                       ("dropped_late", num st.dropped_late);
+                       ("revisions", num st.revisions);
+                       ("entities_active", num st.entities_active);
+                       ("entities_evicted", num st.entities_evicted);
+                     ] );
+                 ("ingest_queue", queue_json ());
+                 ( "clients",
+                   Telemetry.Json.List
+                     (List.mapi
+                        (fun slot state ->
+                          Telemetry.Json.Obj
+                            [ ("slot", num slot); ("state", Telemetry.Json.Str state) ])
+                        (Array.to_list client_states)) );
+                 ("flight_recorded", num (Telemetry.Flight.total ()));
+               ])
+        in
+        let routes = function
+          | "/metrics" ->
+            Some
+              {
+                Telemetry.Admin.status = 200;
+                content_type = "text/plain; version=0.0.4";
+                body = Telemetry.Metrics.to_prometheus ();
+              }
+          | "/healthz" -> Some (healthz ())
+          | "/statusz" -> Some (statusz ())
+          | "/lastz" -> Some (Telemetry.Admin.json (Telemetry.Flight.to_json ()))
+          | _ -> None
+        in
+        (match Telemetry.Admin.start ~port:p ~routes with
+        | Ok a ->
+          Telemetry.Log.info ~src:"serve"
+            (Printf.sprintf "admin endpoint on 127.0.0.1:%d" (Telemetry.Admin.port a));
+          Some a
+        | Error e ->
+          Telemetry.Log.error ~src:"serve" e;
+          exit 2)
+    in
+    let stop_admin () = Option.iter Telemetry.Admin.stop admin in
     (* Run [f sink_fmt] against every live sink, detaching a sink whose
        write fails instead of propagating — one gone client must not
        take down the session for the others. *)
     let emit_to sinks f =
-      List.iter
-        (fun s ->
-          if s.sink_live then
-            try
-              f s.sink_fmt;
-              Format.pp_print_flush s.sink_fmt ();
-              flush s.sink_oc
-            with Sys_error _ | Unix.Unix_error _ ->
-              s.sink_live <- false;
-              Telemetry.Metrics.incr m_clients_dropped;
-              Printf.eprintf "client %d dropped (write failed)\n%!" s.sink_id)
-        sinks
+      Telemetry.Metrics.time_us h_stage_emit (fun () ->
+          List.iter
+            (fun s ->
+              if s.sink_live then
+                try
+                  f s.sink_fmt;
+                  Format.pp_print_flush s.sink_fmt ();
+                  flush s.sink_oc
+                with Sys_error _ | Unix.Unix_error _ ->
+                  s.sink_live <- false;
+                  Telemetry.Metrics.incr m_clients_dropped;
+                  Telemetry.Flight.record Client_drop ~a:s.sink_id ~b:1 ();
+                  set_client_state s.sink_id "dropped_write";
+                  Telemetry.Log.warn ~src:"serve" "client dropped (write failed)"
+                    ~fields:[ ("client", Telemetry.Log.Int s.sink_id) ])
+            sinks)
     in
     let emit_intervals fmt (r : Runtime.Service.result) =
       List.iter
@@ -508,7 +693,8 @@ let serve_cmd =
     let session ~sinks ~cleanup ~loop =
       let fail e =
         cleanup ();
-        Printf.eprintf "recognition failed: %s\n" e;
+        Telemetry.Log.error ~src:"serve" "recognition failed"
+          ~fields:[ ("error", Telemetry.Log.Str e) ];
         exit 1
       in
       (* Live telemetry: refresh the --metrics snapshot at every tick, so
@@ -522,6 +708,7 @@ let serve_cmd =
       in
       let last_tick = ref None in
       let tick ~now =
+        touch ();
         match Runtime.Service.tick svc ~now with
         | Error e -> fail e
         | Ok r ->
@@ -535,7 +722,13 @@ let serve_cmd =
                   (match r.watermark with None -> "-" | Some w -> string_of_int w);
                 emit_intervals fmt r)
       in
+      let bad_line msg =
+        Telemetry.Flight.record Bad_line ~a:(String.length msg) ();
+        Telemetry.Log.warn ~src:"serve" "ignoring bad input line"
+          ~fields:[ ("error", Telemetry.Log.Str msg) ]
+      in
       let ingest items =
+        touch ();
         match Runtime.Service.ingest svc items with
         | () -> (
           match (tick_every, Runtime.Service.watermark svc) with
@@ -543,10 +736,9 @@ let serve_cmd =
             when (match !last_tick with None -> true | Some t -> wm >= t + n) ->
             tick ~now:wm
           | _ -> ())
-        | exception Invalid_argument msg ->
-          Printf.eprintf "ignoring bad input line: %s\n%!" msg
+        | exception Invalid_argument msg -> bad_line msg
       in
-      loop ~tick ~ingest;
+      loop ~tick ~ingest ~bad_line;
       (match Runtime.Service.drain svc with
       | Error e -> fail e
       | Ok r ->
@@ -563,7 +755,8 @@ let serve_cmd =
               s.entities_evicted;
             if Option.is_some flags.provenance then print_provenance_stats fmt;
             emit_intervals fmt r));
-      cleanup ()
+      cleanup ();
+      Telemetry.Flight.record Session_end ()
     in
     match listen with
     | None ->
@@ -571,36 +764,47 @@ let serve_cmd =
       let codec = Rtec.Io.Codec.create () in
       session
         ~sinks:[ sink_of_channel 0 stdout ]
-        ~cleanup:(fun () -> ())
-        ~loop:(fun ~tick ~ingest ->
+        ~cleanup:(fun () -> stop_admin ())
+        ~loop:(fun ~tick ~ingest ~bad_line ->
           try
             while true do
               let line = String.trim (input_line stdin) in
               if line = "" || line.[0] = '%' then ()
               else
-                match decode_line codec line with
+                match
+                  Telemetry.Metrics.time_us h_stage_decode (fun () ->
+                      decode_line codec line)
+                with
                 | Tick_at t -> tick ~now:t
                 | Ingest items -> ingest items
-                | Bad_line msg -> Printf.eprintf "ignoring bad input line: %s\n%!" msg
+                | Bad_line msg -> bad_line msg
                 | Client_eof _ -> assert false
             done
-          with End_of_file -> ())
+          with End_of_file -> set_client_state 0 "eof")
     | Some port ->
       ignore_sigpipe ();
       let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
       Unix.listen sock clients;
-      Printf.eprintf "listening on 127.0.0.1:%d for %d client(s)\n%!" port clients;
+      Telemetry.Log.info ~src:"serve"
+        (Printf.sprintf "listening on 127.0.0.1:%d" port)
+        ~fields:[ ("clients", Telemetry.Log.Int clients) ];
       let conns =
         List.init clients (fun slot ->
             let conn, _ = Unix.accept sock in
+            Telemetry.Flight.record Client_connect ~a:slot ();
+            set_client_state slot "streaming";
+            Telemetry.Log.info ~src:"serve" "client connected"
+              ~fields:[ ("client", Telemetry.Log.Int slot) ];
             (slot, conn))
       in
       let sinks =
         List.map (fun (slot, conn) -> sink_of_channel slot (Unix.out_channel_of_descr conn)) conns
       in
       let queue = Ring.create 1024 in
+      queue_probe :=
+        Some (fun () -> (Ring.depth queue, Ring.high_water queue, Ring.capacity queue));
       let readers =
         List.map
           (fun (slot, conn) ->
@@ -618,19 +822,29 @@ let serve_cmd =
           List.iter
             (fun (_, conn) -> try Unix.close conn with Unix.Unix_error _ -> ())
             conns;
-          try Unix.close sock with Unix.Unix_error _ -> ())
-        ~loop:(fun ~tick ~ingest ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          stop_admin ())
+        ~loop:(fun ~tick ~ingest ~bad_line ->
           let open_clients = ref clients in
           while !open_clients > 0 do
             match Ring.pop queue with
             | Ingest items -> ingest items
             | Tick_at t -> tick ~now:t
-            | Bad_line msg -> Printf.eprintf "ignoring bad input line: %s\n%!" msg
+            | Bad_line msg -> bad_line msg
             | Client_eof { slot; dropped } ->
               decr open_clients;
               if dropped then begin
                 Telemetry.Metrics.incr m_clients_dropped;
-                Printf.eprintf "client %d dropped (read failed)\n%!" slot
+                Telemetry.Flight.record Client_drop ~a:slot ~b:0 ();
+                set_client_state slot "dropped_read";
+                Telemetry.Log.warn ~src:"serve" "client dropped (read failed)"
+                  ~fields:[ ("client", Telemetry.Log.Int slot) ]
+              end
+              else begin
+                Telemetry.Flight.record Client_eof ~a:slot ();
+                set_client_state slot "eof";
+                Telemetry.Log.debug ~src:"serve" "client finished sending"
+                  ~fields:[ ("client", Telemetry.Log.Int slot) ]
               end
           done)
   in
@@ -655,8 +869,8 @@ let serve_cmd =
          ])
     Term.(
       const run $ ed_arg $ recognition_flags $ horizon_arg $ ttl_arg $ listen_arg
-      $ clients_arg $ tick_every_arg $ emit_arg $ trace_arg $ metrics_arg
-      $ metrics_format_arg)
+      $ clients_arg $ tick_every_arg $ emit_arg $ admin_port_arg $ flight_arg
+      $ log_level_arg $ trace_arg $ metrics_arg $ metrics_format_arg)
 
 (* --- feed --- *)
 
@@ -672,13 +886,18 @@ let feed_cmd =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"STREAM"
            ~doc:"Stream file to send (defaults to stdin).")
   in
-  let run port file =
+  let run port file log_level =
+    Telemetry.Log.set_level log_level;
     ignore_sigpipe ();
     let conn = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try Unix.connect conn (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
      with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "cannot connect to 127.0.0.1:%d: %s\n" port (Unix.error_message e);
+       Telemetry.Log.error ~src:"feed"
+         (Printf.sprintf "cannot connect to 127.0.0.1:%d" port)
+         ~fields:[ ("error", Telemetry.Log.Str (Unix.error_message e)) ];
        exit 1);
+    Telemetry.Log.debug ~src:"feed"
+      (Printf.sprintf "connected to 127.0.0.1:%d" port);
     let ic = Unix.in_channel_of_descr conn in
     let oc = Unix.out_channel_of_descr conn in
     (* The server may emit at any tick while we are still sending;
@@ -717,7 +936,32 @@ let feed_cmd =
        ~doc:"Connect to a local $(b,serve --listen) session, send a stream file \
              (or stdin) line by line, half-close, and print everything the \
              server emits until it hangs up.")
-    Term.(const run $ port_arg $ file_arg)
+    Term.(const run $ port_arg $ file_arg $ log_level_arg)
+
+(* --- jsonlint --- *)
+
+(* Validate a JSON document with the in-repo parser. Exists so CI can
+   check the admin endpoint's JSON responses (and any other telemetry
+   artefact) without depending on an external jq/python. *)
+let jsonlint_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSON file to validate ($(b,-) reads stdin).")
+  in
+  let run file =
+    let source =
+      if file = "-" then In_channel.input_all stdin else read_file file
+    in
+    match Telemetry.Json.of_string source with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "%s: invalid JSON: %s\n" file e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "jsonlint"
+       ~doc:"Check that a file parses as JSON; exit 1 with a diagnostic if not.")
+    Term.(const run $ file_arg)
 
 (* --- explain --- *)
 
@@ -885,4 +1129,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rtec" ~doc)
-          [ check_cmd; recognise_cmd; serve_cmd; feed_cmd; explain_cmd; dataset_cmd ]))
+          [
+            check_cmd;
+            recognise_cmd;
+            serve_cmd;
+            feed_cmd;
+            jsonlint_cmd;
+            explain_cmd;
+            dataset_cmd;
+          ]))

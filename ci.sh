@@ -86,8 +86,10 @@ half=$((total / 2))
 head -n "$half" "$EXPLAIN_DIR/ds.stream" > "$EXPLAIN_DIR/half1.stream"
 tail -n +"$((half + 1))" "$EXPLAIN_DIR/ds.stream" > "$EXPLAIN_DIR/half2.stream"
 SERVE_PORT=47613
+ADMIN_PORT=47614
 "$RTEC" serve "$EXPLAIN_DIR/ds.ed" -k "$EXPLAIN_DIR/ds.kb" -w 3600 -s 1800 \
-  --listen "$SERVE_PORT" --clients 2 2> "$EXPLAIN_DIR/serve2.err" &
+  --listen "$SERVE_PORT" --clients 2 --admin-port "$ADMIN_PORT" \
+  --flight-recorder "$EXPLAIN_DIR/flight.json" 2> "$EXPLAIN_DIR/serve2.err" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   grep -q listening "$EXPLAIN_DIR/serve2.err" 2>/dev/null && break
@@ -95,9 +97,58 @@ for _ in $(seq 1 100); do
 done
 "$RTEC" feed "$SERVE_PORT" "$EXPLAIN_DIR/half1.stream" > "$EXPLAIN_DIR/client1.out" &
 CLIENT1_PID=$!
-"$RTEC" feed "$SERVE_PORT" "$EXPLAIN_DIR/half2.stream" > "$EXPLAIN_DIR/client2.out"
+
+# Admin-plane probes while the session is live. The server spawns its
+# reader threads only once both clients have connected, so client 2
+# streams its half from stdin and then withholds its EOF until the admin
+# routes have been scraped: the curls run with every event sent and the
+# session guaranteed live (the server cannot finish before the pipe
+# closes). The /metrics scrape polls until the decode-stage histogram
+# and the queue high-water gauge show up — the reader threads are
+# draining both halves concurrently with the probe. Responses are saved
+# and asserted after shutdown, in the main shell, where a failure can
+# fail the build.
+{
+  cat "$EXPLAIN_DIR/half2.stream"
+  for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$ADMIN_PORT/metrics" > "$EXPLAIN_DIR/metrics.prom" 2>/dev/null \
+      && grep -q '^# TYPE service_stage_decode_us histogram' "$EXPLAIN_DIR/metrics.prom" \
+      && grep -q '^service_ingest_queue_depth_hwm ' "$EXPLAIN_DIR/metrics.prom" \
+      && break
+    sleep 0.1
+  done
+  for route in healthz statusz lastz; do
+    curl -fsS "http://127.0.0.1:$ADMIN_PORT/$route" \
+      > "$EXPLAIN_DIR/$route.json" 2>/dev/null || true
+  done
+} | "$RTEC" feed "$SERVE_PORT" > "$EXPLAIN_DIR/client2.out"
 wait "$CLIENT1_PID"
 wait "$SERVE_PID"
+grep -q '^# TYPE service_stage_decode_us histogram' "$EXPLAIN_DIR/metrics.prom" \
+  || { echo "admin smoke: /metrics never exposed the decode-stage histogram"; exit 1; }
+grep -q '^service_ingest_queue_depth_hwm ' "$EXPLAIN_DIR/metrics.prom" \
+  || { echo "admin smoke: /metrics missing the queue high-water gauge"; exit 1; }
+for route in healthz statusz lastz; do
+  [ -s "$EXPLAIN_DIR/$route.json" ] \
+    || { echo "admin smoke: GET /$route failed"; exit 1; }
+  "$RTEC" jsonlint "$EXPLAIN_DIR/$route.json" \
+    || { echo "admin smoke: /$route is not valid JSON"; exit 1; }
+done
+grep -q '"status": "ok"' "$EXPLAIN_DIR/healthz.json" \
+  || { echo "admin smoke: /healthz did not report ok"; exit 1; }
+grep -q '"depth_hwm"' "$EXPLAIN_DIR/statusz.json" \
+  || { echo "admin smoke: /statusz missing ingest-queue high-water mark"; exit 1; }
+grep -q '"adg-flight/1"' "$EXPLAIN_DIR/lastz.json" \
+  || { echo "admin smoke: /lastz is not a flight-recorder dump"; exit 1; }
+# The armed flight recorder must leave its black box on disk at exit,
+# and the dump must close the session (last kind recorded on the clean
+# shutdown path).
+[ -s "$EXPLAIN_DIR/flight.json" ] \
+  || { echo "admin smoke: flight-recorder file missing after shutdown"; exit 1; }
+"$RTEC" jsonlint "$EXPLAIN_DIR/flight.json" \
+  || { echo "admin smoke: flight-recorder file is not valid JSON"; exit 1; }
+grep -q '"session_end"' "$EXPLAIN_DIR/flight.json" \
+  || { echo "admin smoke: flight recorder did not capture session end"; exit 1; }
 for c in client1 client2; do
   grep -v '^%' "$EXPLAIN_DIR/$c.out" > "$EXPLAIN_DIR/$c.cmp"
   diff "$EXPLAIN_DIR/batch.out" "$EXPLAIN_DIR/$c.cmp" \

@@ -314,6 +314,7 @@ module Codec = struct
       items
     | exception Fallback ->
       Telemetry.Metrics.incr m_fallback;
+      Telemetry.Flight.record Codec_fallback ~a:(String.length source) ();
       items_via_parser ~ctx source
 
   let items_of_string t source =

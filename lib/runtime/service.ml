@@ -45,6 +45,13 @@ let m_revisions = Telemetry.Metrics.counter "service.revisions"
 let g_active = Telemetry.Metrics.gauge "service.entities.active"
 let g_evicted = Telemetry.Metrics.gauge "service.entities.evicted"
 
+(* Stage-latency attribution: [route] brackets ingest (classification +
+   bucket routing + stream appends), [evaluate] brackets a whole query
+   pass (revision planning, window evaluation, finalisation). The
+   decode/emit stages live with the I/O code that owns them. *)
+let h_stage_route = Telemetry.Metrics.histogram "service.stage.route_us"
+let h_stage_evaluate = Telemetry.Metrics.histogram "service.stage.evaluate_us"
+
 type config = {
   window : int option;
   step : int option;
@@ -391,7 +398,7 @@ let push_scratch touched b item =
     b.scr_n <- b.scr_n + 1
   | Rtec.Stream.Fluent (fv, spans) -> b.scr_fluents <- (fv, spans) :: b.scr_fluents
 
-let ingest svc items =
+let ingest_batch svc items =
   let touched = ref [] in
   List.iter
     (fun item ->
@@ -476,6 +483,13 @@ let ingest svc items =
       svc.n_appends <- svc.n_appends + 1)
     (List.rev !order)
 
+let ingest svc items =
+  let late0 = svc.n_late and dropped0 = svc.n_dropped in
+  Telemetry.Metrics.time_us h_stage_route (fun () -> ingest_batch svc items);
+  if Telemetry.Flight.is_enabled () then
+    Telemetry.Flight.record Ingest ~a:(List.length items)
+      ~b:(svc.n_late - late0) ~c:(svc.n_dropped - dropped0) ()
+
 (* --- query scheduling and evaluation --- *)
 
 let resolve_ws svc hi_opt =
@@ -545,7 +559,9 @@ let plan_revision svc b =
         match (b.session, b.initial) with
         | Some s, Some cp -> Session.restore s cp
         | _ -> ())));
-    List.filter (fun q -> q >= t) (List.rev svc.processed)
+    let replays = List.filter (fun q -> q >= t) (List.rev svc.processed) in
+    Telemetry.Flight.record Revision ~a:b.id ~b:t ~c:(List.length replays) ();
+    replays
 
 let around ~worker thunk =
   Telemetry.Metrics.with_local (fun () ->
@@ -594,7 +610,8 @@ let retire svc b =
   b.alive <- false;
   let n = List.length b.entities in
   svc.n_active <- svc.n_active - n;
-  svc.n_evicted <- svc.n_evicted + n
+  svc.n_evicted <- svc.n_evicted + n;
+  Telemetry.Flight.record Evict ~a:b.id ~b:n ~c:b.last_seen ()
 
 let finalise_and_evict svc ~w ~now =
   (match svc.prev_q with
@@ -691,7 +708,7 @@ let stats svc =
     entities_evicted = svc.n_evicted;
   }
 
-let process_pass svc ~w ~s ~now qs =
+let process_pass_inner svc ~w ~s ~now qs =
   (if qs <> [] && svc.lo = None then svc.lo <- Some (Option.value ~default:0 svc.ev_lo));
   let lo = Option.value ~default:0 svc.lo in
   let work =
@@ -744,6 +761,19 @@ let process_pass svc ~w ~s ~now qs =
     finalise_and_evict svc ~w ~now;
     if Rtec.Derivation.is_enabled () then Rtec.Derivation.publish_metrics ();
     Ok { intervals = capture_intervals svc; watermark = svc.ev_hi; stats = stats svc }
+
+let process_pass svc ~w ~s ~now qs =
+  let r =
+    Telemetry.Metrics.time_us h_stage_evaluate (fun () ->
+        process_pass_inner svc ~w ~s ~now qs)
+  in
+  (match r with
+  | Ok res when Telemetry.Flight.is_enabled () ->
+    Telemetry.Flight.record Tick
+      ~a:(Option.value ~default:(-1) now)
+      ~b:(List.length qs) ~c:res.stats.buckets ()
+  | _ -> ());
+  r
 
 (* The unprocessed grid queries up to and including [until]. The grid is
    anchored at the (frozen) origin and never revisits a processed query;

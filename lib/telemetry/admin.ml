@@ -1,0 +1,112 @@
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain; charset=utf-8"; body }
+let json ?(status = 200) doc =
+  { status; content_type = "application/json"; body = Json.to_string ~indent:true doc }
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  thread : Thread.t;
+  stopping : bool ref;
+}
+
+let status_line status =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 400 -> "Bad Request"
+    | 404 -> "Not Found"
+    | 405 -> "Method Not Allowed"
+    | 500 -> "Internal Server Error"
+    | 503 -> "Service Unavailable"
+    | _ -> "Status"
+  in
+  Printf.sprintf "HTTP/1.0 %d %s\r\n" status reason
+
+let write_response oc r =
+  output_string oc (status_line r.status);
+  output_string oc (Printf.sprintf "Content-Type: %s\r\n" r.content_type);
+  output_string oc (Printf.sprintf "Content-Length: %d\r\n" (String.length r.body));
+  output_string oc "Connection: close\r\n\r\n";
+  output_string oc r.body;
+  flush oc
+
+(* One request per connection: read the request line, drain the headers
+   (HTTP/1.0 GETs carry no body), dispatch, respond, close. Anything
+   malformed gets a 400; a handler exception gets a 500 — the admin
+   plane must never take the session down. *)
+let handle_connection routes conn =
+  let ic = Unix.in_channel_of_descr conn in
+  let oc = Unix.out_channel_of_descr conn in
+  let respond r = try write_response oc r with Sys_error _ | Unix.Unix_error _ -> () in
+  (try
+     let request = input_line ic in
+     let rec drain_headers () =
+       match input_line ic with
+       | "" | "\r" -> ()
+       | _ -> drain_headers ()
+       | exception End_of_file -> ()
+     in
+     drain_headers ();
+     match String.split_on_char ' ' (String.trim request) with
+     | meth :: target :: _ when String.uppercase_ascii meth = "GET" -> (
+       let path =
+         match String.index_opt target '?' with
+         | Some i -> String.sub target 0 i
+         | None -> target
+       in
+       match routes path with
+       | Some r -> respond r
+       | None -> respond (text ~status:404 (Printf.sprintf "no route for %s\n" path))
+       | exception e ->
+         respond (text ~status:500 (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
+     | _ :: _ :: _ -> respond (text ~status:405 "only GET is served here\n")
+     | _ -> respond (text ~status:400 "malformed request line\n")
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+let serve_loop sock routes stopping =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept sock with
+    | conn, _ -> handle_connection routes conn
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      (* The listening socket was closed (stop) or is unusable: exit. *)
+      continue := false
+    | exception Sys_error _ -> continue := false
+  done;
+  ignore stopping
+
+let start ~port ~routes =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 16
+  with
+  | () ->
+    let bound_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    let stopping = ref false in
+    let thread = Thread.create (fun () -> serve_loop sock routes stopping) () in
+    Ok { sock; bound_port; thread; stopping }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot bind admin endpoint on 127.0.0.1:%d: %s" port
+             (Unix.error_message e))
+
+let port t = t.bound_port
+
+let stop t =
+  if not !(t.stopping) then begin
+    t.stopping := true;
+    (* Closing the fd makes the blocked accept fail, which exits the loop. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    try Thread.join t.thread with _ -> ()
+  end

@@ -1,0 +1,34 @@
+(** Minimal HTTP/1.0 admin endpoint for live introspection.
+
+    One background thread accepts loopback connections and answers
+    [GET] requests from a route table — enough for a scrape target
+    ([/metrics]), a health probe ([/healthz]) and status/flight-recorder
+    dumps ([/statusz], [/lastz]); anything fancier belongs behind a real
+    proxy. Responses are built whole and written with [Content-Length]
+    and [Connection: close]; each connection serves one request.
+
+    Route handlers run on the admin thread, concurrently with the
+    threads doing the work they report on — they must confine
+    themselves to advisory reads (metric snapshots, counter loads,
+    status fields) and must not block, since the accept loop is serial.
+    A handler that raises turns into a 500 for that request; the loop
+    carries on. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+val json : ?status:int -> Json.t -> response
+
+type t
+
+val start : port:int -> routes:(string -> response option) -> (t, string) result
+(** Bind 127.0.0.1:[port] ([0] picks an ephemeral port — see {!port})
+    and serve [routes] until {!stop}. [routes] receives the request path
+    with any query string removed and returns [None] for 404. Errors
+    (port in use, …) are returned, not raised. *)
+
+val port : t -> int
+(** The bound port — the requested one, or the kernel's pick for 0. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the admin thread. Idempotent. *)

@@ -1,0 +1,109 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+let threshold = ref Info
+let set_level l = threshold := l
+let level () = !threshold
+
+let human_sink = ref (Some stderr)
+let json_sink : out_channel option ref = ref None
+let set_human oc = human_sink := oc
+let set_json oc = json_sink := oc
+
+let n_emitted = ref 0
+let emitted () = !n_emitted
+
+(* One mutex around render+write: records from reader threads, the
+   evaluator and pool workers interleave whole-line, never mid-line. *)
+let sink_mutex = Mutex.create ()
+
+(* RFC3339 UTC with millisecond precision — what a human tails and what
+   a log shipper keys on. *)
+let timestamp now =
+  let tm = Unix.gmtime now in
+  let ms = int_of_float (Float.rem now 1. *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    (max 0 (min 999 ms))
+
+let human_value = function
+  | Str s ->
+    (* Quote only when the bare token would be ambiguous to an eye or an
+       awk script. *)
+    if s <> "" && String.for_all (fun c -> c <> ' ' && c <> '"' && c <> '=') s then s
+    else Printf.sprintf "%S" s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let json_value = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Bool b -> Json.Bool b
+
+let log lvl ~src ?(fields = []) msg =
+  if severity lvl >= severity !threshold then begin
+    let now = Unix.gettimeofday () in
+    Mutex.protect sink_mutex (fun () ->
+        incr n_emitted;
+        (match !human_sink with
+        | None -> ()
+        | Some oc ->
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf (timestamp now);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (String.uppercase_ascii (level_to_string lvl));
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf src;
+          Buffer.add_string buf ": ";
+          Buffer.add_string buf msg;
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf k;
+              Buffer.add_char buf '=';
+              Buffer.add_string buf (human_value v))
+            fields;
+          Buffer.add_char buf '\n';
+          output_string oc (Buffer.contents buf);
+          flush oc);
+        match !json_sink with
+        | None -> ()
+        | Some oc ->
+          let doc =
+            Json.Obj
+              ([
+                 ("ts", Json.Num now);
+                 ("level", Json.Str (level_to_string lvl));
+                 ("src", Json.Str src);
+                 ("msg", Json.Str msg);
+               ]
+              @ List.map (fun (k, v) -> (k, json_value v)) fields)
+          in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          flush oc)
+  end
+
+let debug ~src ?fields msg = log Debug ~src ?fields msg
+let info ~src ?fields msg = log Info ~src ?fields msg
+let warn ~src ?fields msg = log Warn ~src ?fields msg
+let error ~src ?fields msg = log Error ~src ?fields msg

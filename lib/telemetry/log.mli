@@ -1,0 +1,50 @@
+(** Leveled structured logger.
+
+    The serving path needs one logging discipline instead of scattered
+    [Printf.eprintf]: every record carries a level, a component tag, a
+    message and typed key–value fields, and is rendered to a human sink
+    (stderr by default) and/or a JSON-lines sink. Unlike the metrics and
+    trace probes, logging is always on — it is gated by {!set_level},
+    not by the telemetry enable bit — because an operator reading a dead
+    session's stderr must not depend on a flag having been passed.
+
+    Thread-safety: a single mutex serialises rendering and the channel
+    writes, so records from reader threads, the evaluator and worker
+    domains interleave whole-line; there is no per-domain buffering (log
+    volume is per-connection/per-tick, not per-event, so contention is
+    not a concern the way it is for metrics' [with_local]). *)
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+(** Records below this level are dropped before rendering. Default
+    {!Info}. *)
+
+val level : unit -> level
+
+val level_of_string : string -> level option
+(** ["debug" | "info" | "warn" | "error"] (case-insensitive). *)
+
+val level_to_string : level -> string
+
+(** Typed field values; rendered as [key=value] in the human sink and as
+    native JSON types in the JSON-lines sink. *)
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+val set_human : out_channel option -> unit
+(** The human-readable sink (default [Some stderr]); [None] silences it. *)
+
+val set_json : out_channel option -> unit
+(** A JSON-lines sink: one [{"ts":…,"level":…,"src":…,"msg":…,…}]
+    object per record, machine-parseable with {!Json.of_string}. Default
+    [None]. *)
+
+val log : level -> src:string -> ?fields:(string * value) list -> string -> unit
+
+val debug : src:string -> ?fields:(string * value) list -> string -> unit
+val info : src:string -> ?fields:(string * value) list -> string -> unit
+val warn : src:string -> ?fields:(string * value) list -> string -> unit
+val error : src:string -> ?fields:(string * value) list -> string -> unit
+
+val emitted : unit -> int
+(** Records rendered (not dropped) since process start. *)

@@ -200,6 +200,18 @@ let with_local f =
       merge_local l)
     f
 
+(* Timing bracket for stage-latency histograms: the clock is only read
+   when collection is on, so a disabled probe stays one load and one
+   branch — the discipline the CI overhead gate enforces. *)
+let time_us h f =
+  if not !on then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let r = f () in
+    observe h (Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e3);
+    r
+  end
+
 let quantile h q =
   if h.h_count = 0 then 0.
   else begin

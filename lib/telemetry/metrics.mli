@@ -36,6 +36,11 @@ val observe : histogram -> float -> unit
     relative width), so percentile estimates are exact to within one
     bucket; count/sum/min/max are exact. *)
 
+val time_us : histogram -> (unit -> 'a) -> 'a
+(** [time_us h f] runs [f] and records its wall-clock duration in
+    microseconds. Disabled, it is [f ()] — no clock read. A raising [f]
+    records nothing. *)
+
 (** {1 Domains}
 
     The registry cells are unsynchronised: concurrent recording from

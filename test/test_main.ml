@@ -19,6 +19,7 @@ let () =
       ("adg", Test_adg.suite);
       ("evaluation", Test_evaluation.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite);
       ("derivation", Test_derivation.suite);
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);

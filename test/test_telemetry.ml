@@ -369,6 +369,128 @@ let test_metrics_prometheus () =
                  | Some _ -> ()
                  | None -> Alcotest.failf "unparsable value in: %s" line)))
 
+(* Minimal exposition parser shared by the golden and property tests:
+   (metric name, le label if any, value) per non-comment line. *)
+let parse_prom_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun line ->
+         match String.rindex_opt line ' ' with
+         | None -> Alcotest.failf "malformed exposition line: %s" line
+         | Some i -> (
+           let head = String.sub line 0 i in
+           let value =
+             match
+               float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+             with
+             | Some v -> v
+             | None -> Alcotest.failf "unparsable value in: %s" line
+           in
+           match String.index_opt head '{' with
+           | None -> (head, None, value)
+           | Some j ->
+             let name = String.sub head 0 j in
+             let label = String.sub head (j + 1) (String.length head - j - 2) in
+             let le =
+               if String.starts_with ~prefix:"le=\"" label then begin
+                 let body = String.sub label 4 (String.length label - 5) in
+                 if body = "+Inf" then Float.infinity
+                 else
+                   match float_of_string_opt body with
+                   | Some x -> x
+                   | None -> Alcotest.failf "unparsable le bound in: %s" line
+               end
+               else Alcotest.failf "unexpected label set in: %s" line
+             in
+             (name, Some le, value)))
+
+(* A histogram's bucket series must be well-formed for any sample set:
+   strictly ascending le bounds, non-decreasing cumulative counts, a
+   terminal +Inf bucket equal to _count, and _sum matching the samples.
+   Checked structurally here (monotonicity golden test) and under random
+   sample sets below (the exposition must re-parse). *)
+let check_histogram_series ~name ~samples text =
+  let lines = parse_prom_lines text in
+  let buckets =
+    List.filter_map
+      (fun (n, le, v) -> if n = name ^ "_bucket" then Some (Option.get le, v) else None)
+      lines
+  in
+  let scalar suffix =
+    match
+      List.find_opt (fun (n, le, _) -> n = name ^ suffix && le = None) lines
+    with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.failf "missing %s%s" name suffix
+  in
+  Alcotest.(check bool) (name ^ " has buckets") true (buckets <> []);
+  let rec monotone = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+      if not (le1 < le2) then Alcotest.failf "%s le bounds not ascending" name;
+      if not (c1 <= c2) then Alcotest.failf "%s cumulative counts decreased" name;
+      monotone rest
+    | _ -> ()
+  in
+  monotone buckets;
+  let last_le, last_c = List.nth buckets (List.length buckets - 1) in
+  Alcotest.(check bool) (name ^ " terminal bucket is +Inf") true (last_le = Float.infinity);
+  let count = scalar "_count" in
+  Alcotest.(check (float 0.0)) (name ^ " +Inf equals _count") count last_c;
+  Alcotest.(check (float 0.0)) (name ^ " _count is the sample count")
+    (float_of_int (List.length samples))
+    count;
+  Alcotest.(check (float 1e-6)) (name ^ " _sum is the sample sum")
+    (List.fold_left ( +. ) 0. samples)
+    (scalar "_sum")
+
+let test_prometheus_bucket_monotonicity () =
+  scoped (fun () ->
+      let h = Metrics.histogram "test.prom_mono" in
+      let samples = [ 0.4; 1.; 3.; 3.; 17.; 1200.; 250000. ] in
+      List.iter (Metrics.observe h) samples;
+      check_histogram_series ~name:"test_prom_mono" ~samples (Metrics.to_prometheus ()))
+
+(* Property: whatever lands in the registry, the exposition re-parses
+   line by line and each histogram series stays well-formed. Fixed
+   metric names (the registry is process-global and keeps
+   registrations), fresh values per iteration via reset. *)
+let test_prometheus_reparses =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Prometheus exposition re-parses" ~count:100
+       QCheck.(
+         triple small_nat
+           (small_list (pair small_nat small_nat))
+           (small_list small_nat))
+       (fun (c, gauge_bits, sample_bits) ->
+         Metrics.enable ();
+         Fun.protect
+           ~finally:(fun () ->
+             Metrics.disable ();
+             Metrics.reset ())
+           (fun () ->
+             let samples =
+               List.map (fun n -> (float_of_int n /. 7.) +. 0.125) sample_bits
+             in
+             Metrics.incr (Metrics.counter "test.prop_counter") ~by:c;
+             List.iter
+               (fun (a, b) ->
+                 Metrics.set (Metrics.gauge "test.prop_gauge")
+                   (float_of_int a -. (float_of_int b /. 3.)))
+               gauge_bits;
+             let h = Metrics.histogram "test.prop_histogram" in
+             List.iter (Metrics.observe h) samples;
+             let text = Metrics.to_prometheus () in
+             let lines = parse_prom_lines text in
+             let counter_ok =
+               List.exists
+                 (fun (n, le, v) ->
+                   n = "test_prop_counter" && le = None && v = float_of_int c)
+                 lines
+             in
+             if samples <> [] then
+               check_histogram_series ~name:"test_prop_histogram" ~samples text;
+             counter_ok)))
+
 (* --- the CLI flushes telemetry even when recognition dies --- *)
 
 let test_cli_flush_on_failure () =
@@ -431,5 +553,8 @@ let suite =
     test_json_float_roundtrip;
     Alcotest.test_case "non-finite floats render as null" `Quick test_json_nonfinite;
     Alcotest.test_case "Prometheus exposition" `Quick test_metrics_prometheus;
+    Alcotest.test_case "Prometheus bucket monotonicity" `Quick
+      test_prometheus_bucket_monotonicity;
+    test_prometheus_reparses;
     Alcotest.test_case "CLI flushes telemetry on failure" `Quick test_cli_flush_on_failure;
   ]
